@@ -1,0 +1,151 @@
+"""E12 — DataCell vs store-first-query-later.
+
+The paper (via the TruCQ comparison it cites) frames the whole research
+direction: continuous query evaluation "significantly outperforms
+traditional store-first-query-later database technologies". This bench
+stages that comparison inside our own engine, answering the same
+sliding-window question two ways:
+
+* **store-first** — every slide, append the new batch to a persistent
+  table and re-run a one-time SQL query filtering the window by a
+  timestamp column (exactly what an application polling a warehouse
+  does);
+* **DataCell** — the standing query, incremental mode.
+
+Expected shape: the store-first cost per window grows with the table
+size (the scan, and even with a sorted index the re-aggregation of the
+full window), while DataCell's per-slide cost stays flat; the gap
+widens the longer the stream runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.harness import ResultTable, speedup
+from repro.core.engine import DataCellEngine
+from repro.streams.generators import sensor_rows
+from repro.streams.source import RateSource
+
+WINDOW, SLIDE = 4000, 1000
+TOTALS = [10_000, 20_000, 40_000, 80_000]
+
+DATACELL_QUERY = ("SELECT room, avg(temperature) FROM sensors "
+                  f"[RANGE {WINDOW} SLIDE {SLIDE}] GROUP BY room")
+STOREFIRST_QUERY = ("SELECT room, avg(temperature) FROM archive "
+                    "WHERE seq >= {lo} AND seq < {hi} GROUP BY room")
+
+
+def run_datacell(total_rows: int):
+    engine = DataCellEngine()
+    engine.execute("CREATE STREAM sensors (sensor_id INT, room INT, "
+                   "temperature FLOAT, humidity FLOAT)")
+    query = engine.register_continuous(DATACELL_QUERY,
+                                       mode="incremental", name="q")
+    engine.attach_source("sensors",
+                         RateSource(sensor_rows(total_rows),
+                                    rate=1_000_000))
+    engine.run_until_drained()
+    assert not engine.scheduler.failed
+    factory = query.factory
+    return {"ms_per_window": factory.busy_seconds / factory.fires * 1000,
+            "windows": factory.fires}
+
+
+def run_store_first(total_rows: int, indexed: bool = True):
+    """Append + poll: per slide, insert the batch and re-query."""
+    engine = DataCellEngine()
+    engine.execute("CREATE TABLE archive (seq INT, sensor_id INT, "
+                   "room INT, temperature FLOAT, humidity FLOAT)")
+    if indexed:
+        engine.execute("CREATE INDEX ON archive (seq) USING sorted")
+    table = engine.catalog.table("archive")
+    rows = sensor_rows(total_rows)
+    busy = 0.0
+    windows = 0
+    for start in range(0, total_rows, SLIDE):
+        batch = [(start + i, *row)
+                 for i, row in enumerate(rows[start:start + SLIDE])]
+        begin = time.perf_counter()
+        table.insert_rows(batch)
+        hi = start + SLIDE
+        if hi >= WINDOW:
+            engine.query(STOREFIRST_QUERY.format(lo=hi - WINDOW, hi=hi))
+            windows += 1
+        busy += time.perf_counter() - begin
+    return {"ms_per_window": busy / windows * 1000 if windows else 0.0,
+            "windows": windows}
+
+
+def run_experiment() -> ResultTable:
+    table = ResultTable(
+        f"E12: continuous vs store-first-query-later "
+        f"(window {WINDOW}, slide {SLIDE})",
+        ["stream_length", "storefirst_ms_per_window",
+         "datacell_ms_per_window", "speedup"])
+    for total in TOTALS:
+        naive = run_store_first(total)
+        datacell = run_datacell(total)
+        assert naive["windows"] == datacell["windows"]
+        table.add(total, naive["ms_per_window"],
+                  datacell["ms_per_window"],
+                  speedup(naive["ms_per_window"],
+                          datacell["ms_per_window"]))
+    return table
+
+
+def test_e12_report():
+    table = run_experiment()
+    table.show()
+    rows = table.as_dicts()
+    # the standing query beats polling the warehouse at every length
+    assert all(r["speedup"] > 1.5 for r in rows)
+    # DataCell's per-window cost stays flat as the stream grows ...
+    datacell = [r["datacell_ms_per_window"] for r in rows]
+    assert max(datacell) < min(datacell) * 4
+    # ... and the advantage does not shrink with stream length
+    assert rows[-1]["speedup"] >= rows[0]["speedup"] * 0.8
+
+
+def test_e12_same_answers():
+    """Both paradigms must compute identical window answers."""
+    total = 12_000
+    engine = DataCellEngine()
+    engine.execute("CREATE STREAM sensors (sensor_id INT, room INT, "
+                   "temperature FLOAT, humidity FLOAT)")
+    query = engine.register_continuous(
+        DATACELL_QUERY + " ORDER BY room", mode="incremental", name="q")
+    engine.attach_source("sensors",
+                         RateSource(sensor_rows(total), rate=1_000_000))
+    engine.run_until_drained()
+    continuous = [rel.to_rows() for _t, rel in
+                  engine.results("q").batches]
+
+    other = DataCellEngine()
+    other.execute("CREATE TABLE archive (seq INT, sensor_id INT, "
+                  "room INT, temperature FLOAT, humidity FLOAT)")
+    table = other.catalog.table("archive")
+    rows = sensor_rows(total)
+    polled = []
+    for start in range(0, total, SLIDE):
+        table.insert_rows([(start + i, *row) for i, row in
+                           enumerate(rows[start:start + SLIDE])])
+        hi = start + SLIDE
+        if hi >= WINDOW:
+            polled.append(other.query(
+                STOREFIRST_QUERY.format(lo=hi - WINDOW, hi=hi)
+                + " ORDER BY room").to_rows())
+
+    assert len(continuous) == len(polled)
+    for a, b in zip(continuous, polled):
+        norm = lambda rs: [tuple(round(v, 9) if isinstance(v, float)
+                                 else v for v in r) for r in rs]
+        assert norm(a) == norm(b)
+
+
+@pytest.mark.parametrize("paradigm", ["storefirst", "datacell"])
+def test_e12_paradigm(benchmark, paradigm):
+    fn = run_store_first if paradigm == "storefirst" else run_datacell
+    benchmark(lambda: fn(15_000))

@@ -1,0 +1,84 @@
+"""E1 — Posing queries (demo Fig. 2).
+
+Continuous queries are ordinary SQL: measure the cost of the full
+compile path (parse -> bind -> plan -> optimize -> MAL -> continuous
+rewrite) and show how the plan shape changes (instruction counts
+before/after the DataCell rewrite) for a suite of query templates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ResultTable, time_callable
+from repro.core.rewriter import rewrite_summary, rewrite_to_continuous
+from repro.mal.compiler import compile_plan
+from repro.sql import compile_select
+from repro.sql.plan import find_stream_scans
+from repro.storage import Schema
+from repro.storage.catalog import Catalog
+
+TEMPLATES = [
+    ("filter", "SELECT sensor_id, temperature FROM sensors "
+               "WHERE temperature > 30"),
+    ("tumbling-agg", "SELECT room, avg(temperature) FROM sensors "
+                     "[RANGE 100] GROUP BY room"),
+    ("sliding-agg", "SELECT room, avg(temperature), count(*) "
+                    "FROM sensors [RANGE 100 SLIDE 20] GROUP BY room "
+                    "HAVING count(*) > 3 ORDER BY room"),
+    ("stream-table-join", "SELECT r.name, max(s.temperature) "
+                          "FROM sensors [RANGE 60 SLIDE 20] s, rooms r "
+                          "WHERE s.room = r.room GROUP BY r.name"),
+    ("time-window", "SELECT count(*) FROM sensors "
+                    "[RANGE 10 SECONDS SLIDE 2 SECONDS] "
+                    "WHERE temperature > 25"),
+]
+
+
+def make_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.create_stream("sensors", Schema.parse(
+        [("sensor_id", "INT"), ("room", "INT"),
+         ("temperature", "FLOAT"), ("humidity", "FLOAT")]))
+    catalog.create_table("rooms", Schema.parse(
+        [("room", "INT"), ("name", "VARCHAR"),
+         ("min_temp", "FLOAT"), ("max_temp", "FLOAT")]))
+    return catalog
+
+
+def compile_continuous(catalog: Catalog, sql: str):
+    plan = compile_select(sql, catalog)
+    program = compile_plan(plan)
+    streams = [s.stream_name for s in find_stream_scans(plan)]
+    continuous = rewrite_to_continuous(program, streams)
+    return plan, program, continuous
+
+
+def run_experiment() -> ResultTable:
+    catalog = make_catalog()
+    table = ResultTable(
+        "E1: continuous-query compilation (parse..rewrite)",
+        ["template", "compile_ms", "one_time_ops", "continuous_ops",
+         "binds_redirected"])
+    for name, sql in TEMPLATES:
+        seconds, (plan, program, continuous) = time_callable(
+            lambda sql=sql: compile_continuous(catalog, sql), repeats=5)
+        summary = rewrite_summary(program, continuous)
+        table.add(name, seconds * 1000, len(program), len(continuous),
+                  summary["binds_redirected"])
+    return table
+
+
+def test_e1_report():
+    table = run_experiment()
+    table.show()
+    for row in table.as_dicts():
+        assert row["continuous_ops"] > row["one_time_ops"]
+        assert row["binds_redirected"] >= 1
+
+
+@pytest.mark.parametrize("name,sql", TEMPLATES,
+                         ids=[n for n, _s in TEMPLATES])
+def test_e1_compile_speed(benchmark, name, sql):
+    catalog = make_catalog()
+    benchmark(lambda: compile_continuous(catalog, sql))

@@ -1,0 +1,79 @@
+"""E4 — Window sizes (demo §4 "Window Sizes").
+
+Users vary window size and step and watch plans/performance change.
+Two sweeps: (a) fixed slide, growing window — re-evaluation cost grows
+linearly with w while incremental stays ~flat (it reprocesses only one
+basic window per slide); (b) fixed window, growing slide — the modes
+converge as the window becomes tumbling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_e3_incremental import run_mode
+from repro.bench.harness import ResultTable, speedup
+
+N_ROWS = 90_000
+SLIDE_FIXED = 1200
+WINDOW_SWEEP = [2400, 4800, 9600, 19200, 38400]
+WINDOW_FIXED = 28_800
+SLIDE_SWEEP = [1200, 2400, 4800, 9600, 14400, 28800]
+
+
+def run_window_sweep() -> ResultTable:
+    table = ResultTable(
+        f"E4a: growing window, slide={SLIDE_FIXED} tuples",
+        ["window", "reeval_ms_per_fire", "incr_ms_per_fire", "speedup"])
+    for window in WINDOW_SWEEP:
+        ree = run_mode("reeval", window, SLIDE_FIXED, N_ROWS)
+        inc = run_mode("incremental", window, SLIDE_FIXED, N_ROWS)
+        table.add(window, ree["ms_per_fire"], inc["ms_per_fire"],
+                  speedup(ree["ms_per_fire"], inc["ms_per_fire"]))
+    return table
+
+
+def run_slide_sweep() -> ResultTable:
+    table = ResultTable(
+        f"E4b: growing slide, window={WINDOW_FIXED} tuples",
+        ["slide", "n_basic", "reeval_ms_per_fire", "incr_ms_per_fire",
+         "speedup"])
+    for slide in SLIDE_SWEEP:
+        ree = run_mode("reeval", WINDOW_FIXED, slide, N_ROWS)
+        inc = run_mode("incremental", WINDOW_FIXED, slide, N_ROWS)
+        table.add(slide, WINDOW_FIXED // slide, ree["ms_per_fire"],
+                  inc["ms_per_fire"],
+                  speedup(ree["ms_per_fire"], inc["ms_per_fire"]))
+    return table
+
+
+def run_experiment():
+    return [run_window_sweep(), run_slide_sweep()]
+
+
+def test_e4_window_sweep_report():
+    table = run_window_sweep()
+    table.show()
+    rows = table.as_dicts()
+    # re-evaluation cost grows with the window ...
+    assert rows[-1]["reeval_ms_per_fire"] > \
+        rows[0]["reeval_ms_per_fire"] * 2
+    # ... incremental does not (bounded by one basic window + merge)
+    assert rows[-1]["incr_ms_per_fire"] < \
+        rows[0]["incr_ms_per_fire"] * 6
+    # so the speedup widens monotonically-ish with window size
+    assert rows[-1]["speedup"] > rows[0]["speedup"]
+
+
+def test_e4_slide_sweep_report():
+    table = run_slide_sweep()
+    table.show()
+    rows = table.as_dicts()
+    # sliding toward tumbling: the advantage shrinks toward ~1x
+    assert rows[0]["speedup"] > rows[-1]["speedup"]
+    assert rows[-1]["speedup"] < 3.0
+
+
+@pytest.mark.parametrize("window", [2400, 19200])
+def test_e4_reeval_cost_scales(benchmark, window):
+    benchmark(lambda: run_mode("reeval", window, 1200, nrows=40000))

@@ -1,0 +1,115 @@
+"""E5 — Complex queries (demo §4 "Complex Queries").
+
+Joins in continuous plans with sliding windows, versus simple
+select-project-aggregate (SPA) queries. Expected shape: incremental
+processing helps every query class; joins amplify the absolute win
+(per-basic-window join results are cached, so a slide only joins the
+new slice) while SPA queries show the cleanest proportional profile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.workloads import drive, sensor_engine
+from repro.bench.harness import ResultTable, speedup
+from repro.core.engine import DataCellEngine
+from repro.streams.generators import sensor_rows
+from repro.streams.source import RateSource
+
+N_ROWS = 40_000
+WINDOW = 12_800
+SLIDE = 800
+
+SPA_QUERY = ("SELECT room, avg(temperature) FROM sensors "
+             f"[RANGE {WINDOW} SLIDE {SLIDE}] WHERE temperature > 18 "
+             "GROUP BY room")
+STREAM_TABLE_QUERY = (
+    "SELECT r.name, count(*), avg(s.temperature) "
+    f"FROM sensors [RANGE {WINDOW} SLIDE {SLIDE}] s, rooms r "
+    "WHERE s.room = r.room GROUP BY r.name")
+# stream-stream join: smaller windows, the cross-pair work is heavier
+SS_WINDOW, SS_SLIDE, SS_ROWS = 1600, 200, 8000
+STREAM_STREAM_QUERY = (
+    "SELECT a.room, count(*) "
+    f"FROM sensors [RANGE {SS_WINDOW} SLIDE {SS_SLIDE}] a, "
+    f"sensors2 [RANGE {SS_WINDOW} SLIDE {SS_SLIDE}] b "
+    "WHERE a.sensor_id = b.sensor_id GROUP BY a.room")
+
+
+def run_single_stream(query: str, mode: str, nrows: int = N_ROWS):
+    engine, rows = sensor_engine(nrows, with_rooms=True)
+    q = engine.register_continuous(query, mode=mode, name="q")
+    drive(engine, "sensors", rows)
+    f = q.factory
+    return {"ms_per_fire": f.busy_seconds / f.fires * 1000,
+            "fires": f.fires}
+
+
+def run_stream_stream(mode: str):
+    engine = DataCellEngine()
+    engine.execute("CREATE STREAM sensors (sensor_id INT, room INT, "
+                   "temperature FLOAT, humidity FLOAT)")
+    engine.execute("CREATE STREAM sensors2 (sensor_id INT, room INT, "
+                   "temperature FLOAT, humidity FLOAT)")
+    q = engine.register_continuous(STREAM_STREAM_QUERY, mode=mode,
+                                   name="q")
+    engine.attach_source("sensors",
+                         RateSource(sensor_rows(SS_ROWS, seed=1),
+                                    rate=1_000_000))
+    engine.attach_source("sensors2",
+                         RateSource(sensor_rows(SS_ROWS, seed=2),
+                                    rate=1_000_000))
+    engine.run_until_drained()
+    assert not engine.scheduler.failed
+    f = q.factory
+    return {"ms_per_fire": f.busy_seconds / f.fires * 1000,
+            "fires": f.fires}
+
+
+def run_experiment() -> ResultTable:
+    table = ResultTable(
+        "E5: query-class comparison under sliding windows",
+        ["query_class", "reeval_ms_per_fire", "incr_ms_per_fire",
+         "speedup", "fires"])
+    for name, runner in [
+            ("select-project-aggregate",
+             lambda m: run_single_stream(SPA_QUERY, m)),
+            ("stream-table join",
+             lambda m: run_single_stream(STREAM_TABLE_QUERY, m)),
+            ("stream-stream join", run_stream_stream)]:
+        ree = runner("reeval")
+        inc = runner("incremental")
+        table.add(name, ree["ms_per_fire"], inc["ms_per_fire"],
+                  speedup(ree["ms_per_fire"], inc["ms_per_fire"]),
+                  inc["fires"])
+    return table
+
+
+def test_e5_report():
+    table = run_experiment()
+    table.show()
+    rows = {r["query_class"]: r for r in table.as_dicts()}
+    # every class gains from incremental processing
+    for row in rows.values():
+        assert row["speedup"] > 1.5
+    # joins are the expensive class per firing under re-evaluation
+    assert rows["stream-table join"]["reeval_ms_per_fire"] > \
+        rows["select-project-aggregate"]["reeval_ms_per_fire"]
+
+
+SMALL_JOIN_QUERY = (
+    "SELECT r.name, count(*), avg(s.temperature) "
+    "FROM sensors [RANGE 3200 SLIDE 400] s, rooms r "
+    "WHERE s.room = r.room GROUP BY r.name")
+
+
+@pytest.mark.parametrize("mode", ["reeval", "incremental"])
+def test_e5_stream_table_join(benchmark, mode):
+    benchmark(lambda: run_single_stream(SMALL_JOIN_QUERY, mode,
+                                        nrows=12000))
+
+
+@pytest.mark.parametrize("mode", ["reeval", "incremental"])
+def test_e5_stream_stream_join(benchmark, mode):
+    benchmark(lambda: run_stream_stream(mode))

@@ -1,0 +1,112 @@
+"""E6 — Two query paradigms (paper §3).
+
+One factory interacting with both baskets and tables: a continuous
+query joins the stream against a persistent dimension table while
+ordinary one-time SQL keeps running against the same engine — and new
+stream data can be archived into the warehouse (INSERT ... SELECT).
+The measurements: continuous throughput with/without concurrent
+one-time queries, and one-time query latency with/without streaming
+load — neither paradigm should break the other.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.workloads import drive, sensor_engine
+from repro.bench.harness import ResultTable
+from repro.streams.source import RateSource
+
+N_ROWS = 30_000
+CQ = ("SELECT r.name, avg(s.temperature) "
+      "FROM sensors [RANGE 6000 SLIDE 1500] s, rooms r "
+      "WHERE s.room = r.room GROUP BY r.name")
+ONE_TIME = ("SELECT name, min_temp FROM rooms "
+            "WHERE min_temp > 14 ORDER BY name")
+
+
+def run_streaming(one_time_every: int = 0):
+    """Drive the stream; optionally run a one-time query every
+    ``one_time_every`` scheduler steps. Returns timings."""
+    engine, rows = sensor_engine(N_ROWS, with_rooms=True)
+    q = engine.register_continuous(CQ, mode="incremental", name="cq")
+    # spread arrivals over ~600 steps so the mix genuinely interleaves
+    engine.attach_source("sensors", RateSource(rows, rate=5000))
+    one_time_latencies = []
+    steps = 0
+    while True:
+        out = engine.step(advance_ms=10)
+        steps += 1
+        if one_time_every and steps % one_time_every == 0:
+            start = time.perf_counter()
+            engine.query(ONE_TIME)
+            one_time_latencies.append(time.perf_counter() - start)
+        live = [r for r in engine.scheduler.receptors
+                if not r.exhausted]
+        if not live and out["fired"] == 0 and out["ingested"] == 0:
+            break
+        if steps > 100000:
+            raise RuntimeError("did not drain")
+    assert not engine.scheduler.failed
+    factory = q.factory
+    return {
+        "cq_ms_per_fire": factory.busy_seconds / factory.fires * 1000,
+        "cq_fires": factory.fires,
+        "one_time_ms": (sum(one_time_latencies)
+                        / len(one_time_latencies) * 1000
+                        if one_time_latencies else None),
+        "engine": engine,
+    }
+
+
+def one_time_latency_idle() -> float:
+    engine, _rows = sensor_engine(10, with_rooms=True)
+    start = time.perf_counter()
+    for _ in range(50):
+        engine.query(ONE_TIME)
+    return (time.perf_counter() - start) / 50 * 1000
+
+
+def run_experiment() -> ResultTable:
+    table = ResultTable(
+        "E6: continuous + one-time queries in one engine",
+        ["configuration", "cq_ms_per_fire", "one_time_ms"])
+    solo = run_streaming(one_time_every=0)
+    mixed = run_streaming(one_time_every=5)
+    idle = one_time_latency_idle()
+    table.add("continuous only", solo["cq_ms_per_fire"], None)
+    table.add("continuous + one-time mix", mixed["cq_ms_per_fire"],
+              mixed["one_time_ms"])
+    table.add("one-time only (idle engine)", None, idle)
+    return table
+
+
+def test_e6_report():
+    table = run_experiment()
+    table.show()
+    rows = table.as_dicts()
+    solo, mixed, idle = rows
+    # the continuous query is not starved by one-time load
+    assert mixed["cq_ms_per_fire"] < solo["cq_ms_per_fire"] * 3
+    # one-time latency stays interactive under streaming load
+    assert mixed["one_time_ms"] < idle["one_time_ms"] * 20
+
+
+def test_e6_archive_stream_to_warehouse():
+    """The paradigm's third leg: stream data entering the warehouse."""
+    engine, rows = sensor_engine(500, with_rooms=True)
+    engine.execute("CREATE TABLE archive (sensor_id INT, room INT, "
+                   "temperature FLOAT, humidity FLOAT)")
+    engine.register_continuous(
+        "SELECT sensor_id FROM sensors [RANGE 10000]", name="retainer")
+    drive(engine, "sensors", rows)
+    count = engine.execute("INSERT INTO archive SELECT * FROM sensors")
+    assert count == 500
+    archived = engine.query("SELECT count(*) FROM archive").to_rows()
+    assert archived == [(500,)]
+
+
+def test_e6_mixed_workload(benchmark):
+    benchmark(lambda: run_streaming(one_time_every=10))

@@ -1,0 +1,120 @@
+"""E7 — Linear Road (paper §3: "easily meeting the requirements of the
+Linear Road Benchmark").
+
+The scaled substrate (see DESIGN.md substitutions) drives position
+reports through the standing queries the benchmark needs — per-segment
+statistics (LAV + car counts) and stopped-car detection — and checks
+
+* correctness: the query outputs match the plain-Python oracle;
+* the response constraint: every notification is produced within the
+  (scaled) 5-second budget, measured as wall-clock factory latency per
+  firing;
+* sustainable input rate: reports/second processed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.harness import ResultTable
+from repro.core.engine import DataCellEngine
+from repro.streams.linearroad import (POSITION_SCHEMA, LinearRoadConfig,
+                                      LinearRoadGenerator,
+                                      detect_stopped_cars,
+                                      reference_segment_stats)
+from repro.streams.source import ListSource
+
+SEGSTATS = ("SELECT xway, dir, seg, avg(speed) lav, count(*) n "
+            "FROM position [RANGE 30 SECONDS SLIDE 30 SECONDS] "
+            "GROUP BY xway, dir, seg")
+STOPPED = ("SELECT car, count(*) c FROM position "
+           "[RANGE 12 SECONDS SLIDE 3 SECONDS] WHERE speed = 0 "
+           "GROUP BY car HAVING count(*) >= 4")
+
+
+def run_linear_road(cars: int = 120, duration_s: int = 120,
+                    seed: int = 7):
+    config = LinearRoadConfig(cars=cars, duration_s=duration_s,
+                              seed=seed)
+    generator = LinearRoadGenerator(config)
+    events = generator.events()
+    engine = DataCellEngine()
+    engine.execute(POSITION_SCHEMA)
+    engine.register_continuous(SEGSTATS, name="segstats")
+    engine.register_continuous(STOPPED, name="stopped")
+
+    fire_latencies = []
+    original_step = engine.scheduler.step
+
+    def timed_step():
+        start = time.perf_counter()
+        out = original_step()
+        if out["fired"]:
+            fire_latencies.append(
+                (time.perf_counter() - start) / out["fired"])
+        return out
+
+    engine.scheduler.step = timed_step
+    engine.attach_source("position", ListSource(events))
+    wall_start = time.perf_counter()
+    engine.run_for(config.scale_ms(duration_s) + 1000, step_ms=500)
+    wall = time.perf_counter() - wall_start
+    assert not engine.scheduler.failed
+    return {
+        "config": config,
+        "generator": generator,
+        "events": events,
+        "engine": engine,
+        "fire_latencies": fire_latencies,
+        "reports_per_s": len(events) / wall,
+    }
+
+
+def run_experiment() -> ResultTable:
+    table = ResultTable(
+        "E7: scaled Linear Road — correctness & response constraint",
+        ["cars", "reports", "accidents", "segstat_windows_ok",
+         "stopped_found/oracle", "max_fire_ms", "constraint_ms",
+         "meets_constraint", "reports_per_s"])
+    for cars in (60, 120, 240):
+        out = run_linear_road(cars=cars)
+        events = out["events"]
+        engine = out["engine"]
+        oracle = reference_segment_stats(events, 30000, 30000)
+        batches = engine.results("segstats").batches
+        windows_ok = 0
+        for (t, rel), (ot, expected) in zip(batches, oracle):
+            got = {(x, d, s): (round(lav, 6), n)
+                   for x, d, s, lav, n in rel.to_rows()}
+            want = {k: round(v[0], 6) for k, v in expected.items()}
+            if set(got) == set(expected) and all(
+                    got[k][0] == want[k] for k in want):
+                windows_ok += 1
+        stopped = {r[0] for r in engine.results("stopped").rows()}
+        oracle_stopped = {c for _t, c, _l in detect_stopped_cars(events)}
+        max_fire_ms = max(out["fire_latencies"]) * 1000 \
+            if out["fire_latencies"] else 0.0
+        constraint = out["config"].response_constraint_ms
+        table.add(cars, len(events), len(out["generator"].accidents),
+                  f"{windows_ok}/{len(oracle)}",
+                  f"{len(oracle_stopped & stopped)}/{len(oracle_stopped)}",
+                  max_fire_ms, constraint, max_fire_ms < constraint,
+                  out["reports_per_s"])
+    return table
+
+
+def test_e7_report():
+    table = run_experiment()
+    table.show()
+    for row in table.as_dicts():
+        ok, total = row["segstat_windows_ok"].split("/")
+        assert int(ok) >= int(total) - 1  # last partial window may lag
+        found, oracle = row["stopped_found/oracle"].split("/")
+        assert int(found) == int(oracle)
+        assert row["meets_constraint"] is True
+
+
+def test_e7_throughput(benchmark):
+    benchmark(lambda: run_linear_road(cars=60, duration_s=60))

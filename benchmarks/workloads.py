@@ -1,0 +1,37 @@
+"""Shared workload builders for the experiment benches."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.engine import DataCellEngine
+from repro.streams.generators import sensor_rows
+from repro.streams.source import RateSource
+
+SENSOR_DDL = ("CREATE STREAM sensors (sensor_id INT, room INT, "
+              "temperature FLOAT, humidity FLOAT)")
+ROOMS_DDL = ("CREATE TABLE rooms (room INT, name VARCHAR(16), "
+             "min_temp FLOAT, max_temp FLOAT)")
+
+
+def sensor_engine(nrows: int, with_rooms: bool = False,
+                  seed: int = 42) -> Tuple[DataCellEngine, List[tuple]]:
+    """Fresh engine + sensors stream (+ optional rooms dimension)."""
+    engine = DataCellEngine()
+    engine.execute(SENSOR_DDL)
+    if with_rooms:
+        from repro.streams.generators import reference_rooms
+
+        engine.execute(ROOMS_DDL)
+        engine.catalog.table("rooms").insert_rows(reference_rooms(4))
+    rows = sensor_rows(nrows, seed=seed)
+    return engine, rows
+
+
+def drive(engine: DataCellEngine, stream: str, rows,
+          rate: float = 1_000_000.0) -> None:
+    """Attach a source and run the net to exhaustion (simulated clock)."""
+    engine.attach_source(stream, RateSource(rows, rate=rate))
+    engine.run_until_drained()
+    if engine.scheduler.failed:
+        raise RuntimeError(f"factory failures: {engine.scheduler.failed}")

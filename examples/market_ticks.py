@@ -1,0 +1,82 @@
+"""Market-data analytics: VWAP, volatility and cross-stream screens.
+
+A finance-flavored scenario exercising the newer SQL surface:
+
+* ``vwap`` — volume-weighted average price per symbol per sliding
+  window (incremental aggregate over an expression);
+* ``volatility`` — per-symbol STDDEV of prices (a mergeable
+  three-moment partial state in incremental mode);
+* ``watched`` — a semi-join screen: only symbols on a persistent
+  watchlist pass (``IN (SELECT ...)``);
+* ``spikes`` — a chained query network: per-window stats flow into an
+  output basket that a second standing query screens for volatility
+  spikes.
+
+Run::
+
+    python examples/market_ticks.py
+"""
+
+from repro import DataCellEngine, RateSource
+from repro.streams.generators import TICKS_SCHEMA, tick_rows
+
+
+def main() -> None:
+    engine = DataCellEngine()
+    engine.execute(TICKS_SCHEMA)
+    engine.execute("CREATE TABLE watchlist (symbol VARCHAR(8))")
+    engine.execute("INSERT INTO watchlist VALUES ('ACME'), ('UMBR')")
+
+    engine.register_continuous(
+        "SELECT symbol, sum(price * volume) / sum(volume) AS vwap, "
+        "sum(volume) AS vol FROM ticks [RANGE 600 SLIDE 150] "
+        "GROUP BY symbol ORDER BY symbol",
+        name="vwap")
+
+    # stage 1 of the chained network: stats into an output basket
+    engine.register_continuous(
+        "SELECT symbol, stddev(price) AS sd, avg(price) AS mean "
+        "FROM ticks [RANGE 600 SLIDE 150] GROUP BY symbol",
+        name="volatility", output_stream="volstats")
+
+    # stage 2: screen the derived stream for relative volatility spikes
+    engine.register_continuous(
+        "SELECT symbol, sd / mean AS rel_vol FROM volstats "
+        "WHERE sd / mean > 0.004",
+        name="spikes")
+
+    engine.register_continuous(
+        "SELECT symbol, price FROM ticks WHERE symbol IN "
+        "(SELECT symbol FROM watchlist) AND volume > 450",
+        name="watched")
+
+    for name in ("vwap", "volatility", "spikes", "watched"):
+        print(f"{name}: {engine.continuous_query(name).mode} mode")
+
+    print("\nstreaming 8000 ticks...\n")
+    engine.attach_source("ticks",
+                         RateSource(tick_rows(8000), rate=2000.0))
+    engine.run_until_drained()
+    assert not engine.scheduler.failed
+
+    print("latest VWAP window:")
+    print(engine.results("vwap").latest().pretty())
+
+    print("\nlatest volatility window:")
+    print(engine.results("volatility").latest().pretty())
+
+    spike_rows = engine.results("spikes").rows()
+    print(f"\nvolatility spikes flagged: {len(spike_rows)} "
+          f"(e.g. {spike_rows[:3]})")
+
+    watched = engine.results("watched").rows()
+    symbols = {s for s, _p in watched}
+    print(f"\nwatchlist hits: {len(watched)} ticks, symbols {symbols}")
+    assert symbols <= {"ACME", "UMBR"}
+
+    print("\nwhere tuples live (volatility query):")
+    print(engine.monitor.intermediates("volatility"))
+
+
+if __name__ == "__main__":
+    main()

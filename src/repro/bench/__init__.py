@@ -1,0 +1,10 @@
+"""Benchmark harness utilities."""
+
+from repro.bench.harness import (ResultTable, run_windowed_query, speedup,
+                                 time_callable)
+from repro.bench.reporting import (compare_runs, load_json, save_json,
+                                   to_json, to_markdown)
+
+__all__ = ["ResultTable", "run_windowed_query", "speedup",
+           "time_callable", "to_markdown", "to_json", "save_json",
+           "load_json", "compare_runs"]

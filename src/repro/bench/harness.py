@@ -1,0 +1,112 @@
+"""Benchmark harness utilities shared by the per-experiment benches.
+
+Each experiment module in ``benchmarks/`` builds a workload, runs the
+engine configurations it compares, and reports rows through
+:class:`ResultTable`. The harness keeps measurement conventions uniform:
+simulated clock for determinism, wall-clock ``perf_counter`` for the
+processing-cost axis, and medians over repeats.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.core.engine import DataCellEngine
+from repro.streams.source import RateSource
+
+
+def time_callable(fn: Callable[[], Any], repeats: int = 3,
+                  warmup: int = 1) -> Tuple[float, Any]:
+    """Median wall-clock seconds over *repeats* runs (after *warmup*)."""
+    result = None
+    for _ in range(warmup):
+        result = fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples), result
+
+
+def run_windowed_query(rows: Sequence[Sequence[Any]], schema_sql: str,
+                       stream: str, query_sql: str, mode: str,
+                       rate: float = 100000.0,
+                       cache_enabled: bool = True) -> Dict[str, Any]:
+    """Feed *rows* through one continuous query; returns measurements.
+
+    The stream is driven to exhaustion under a simulated clock, so the
+    returned ``busy_seconds`` is pure processing cost (the quantity the
+    demo's analysis pane charts), independent of the input rate.
+    """
+    engine = DataCellEngine()
+    engine.execute(schema_sql)
+    query = engine.register_continuous(query_sql, mode=mode,
+                                       cache_enabled=cache_enabled)
+    engine.attach_source(stream, RateSource(rows, rate=rate))
+    engine.run_until_drained()
+    factory = query.factory
+    stats = factory.stats()
+    sink = engine.results(query.name)
+    return {
+        "mode": query.mode,
+        "fires": factory.fires,
+        "busy_seconds": factory.busy_seconds,
+        "ms_per_fire": (factory.busy_seconds / factory.fires * 1000
+                        if factory.fires else 0.0),
+        "tuples_in": factory.tuples_in,
+        "rows_out": factory.rows_out,
+        "batches": list(sink.batches),
+        "stats": stats,
+        "engine": engine,
+        "query": query,
+    }
+
+
+class ResultTable:
+    """Collects experiment rows and renders the report block."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[Any]] = []
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.title}: expected {len(self.columns)} values")
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        def fmt(v: Any) -> str:
+            if isinstance(v, float):
+                return f"{v:.4f}"
+            return str(v)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [max([len(c)] + [len(r[i]) for r in cells])
+                  for i, c in enumerate(self.columns)]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(c.ljust(w)
+                               for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w)
+                                   for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+def speedup(baseline: float, candidate: float) -> float:
+    """baseline/candidate, guarded against division by ~zero."""
+    if candidate <= 1e-12:
+        return float("inf")
+    return baseline / candidate

@@ -1,0 +1,77 @@
+"""Result rendering helpers: markdown/JSON export for experiment
+tables (EXPERIMENTS.md is generated from these)."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.bench.harness import ResultTable
+
+
+def to_markdown(table: ResultTable) -> str:
+    """Render a :class:`ResultTable` as a GitHub-flavored table."""
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    lines = [f"### {table.title}", ""]
+    lines.append("| " + " | ".join(table.columns) + " |")
+    lines.append("|" + "|".join("---" for _ in table.columns) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def to_json(tables: Sequence[ResultTable]) -> str:
+    """Serialize experiment tables for archival / regression diffing."""
+    payload: List[Dict[str, Any]] = []
+    for table in tables:
+        payload.append({"title": table.title,
+                        "columns": table.columns,
+                        "rows": table.rows})
+    return json.dumps(payload, indent=2, default=str)
+
+
+def save_json(tables: Sequence[ResultTable], path: str) -> None:
+    with open(path, "w") as f:
+        f.write(to_json(tables))
+
+
+def load_json(path: str) -> List[Dict[str, Any]]:
+    with open(path) as f:
+        return json.load(f)
+
+
+def compare_runs(before: List[Dict[str, Any]],
+                 after: List[Dict[str, Any]],
+                 tolerance: float = 0.5) -> List[str]:
+    """Flag numeric regressions between two archived runs.
+
+    Returns human-readable lines for every cell whose value moved by
+    more than ``tolerance`` (relative). Meant for eyeballing whether a
+    code change shifted an experiment's shape.
+    """
+    findings: List[str] = []
+    by_title = {entry["title"]: entry for entry in before}
+    for entry in after:
+        base = by_title.get(entry["title"])
+        if base is None or base["columns"] != entry["columns"]:
+            continue
+        for row_b, row_a in zip(base["rows"], entry["rows"]):
+            for col, vb, va in zip(entry["columns"], row_b, row_a):
+                if not isinstance(vb, (int, float)) \
+                        or not isinstance(va, (int, float)):
+                    continue
+                if isinstance(vb, bool) or isinstance(va, bool):
+                    continue
+                if vb == 0:
+                    continue
+                drift = abs(va - vb) / abs(vb)
+                if drift > tolerance:
+                    findings.append(
+                        f"{entry['title']} / {col}: {vb} -> {va} "
+                        f"({drift:+.0%})")
+    return findings

@@ -1,0 +1,217 @@
+"""Baskets: the lightweight columnar tables that buffer stream tuples.
+
+From the paper: *"when an event stream enters the system via a receptor,
+stream tuples are immediately stored in a lightweight table, called
+basket. [...] Once a tuple has been seen by all relevant
+queries/operators, it is dropped from its basket."*
+
+A basket is a set of column BATs that share a dense oid range, plus one
+TIMESTAMP BAT of arrival times (used by time-based windows). Tuples are
+addressed by *absolute oids* that stay stable as the head is dropped, so
+window bookkeeping survives draining. Each standing query registers a
+:class:`Subscription`; :meth:`Basket.vacuum` deletes the prefix that
+every subscription has released.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.mal.bat import BAT
+from repro.mal.relation import Relation
+from repro.storage import types as dt
+from repro.storage.schema import Schema
+
+
+class Subscription:
+    """One query's consumption cursor over a basket.
+
+    ``read_upto`` — next oid this subscriber has not yet seen.
+    ``released_upto`` — tuples below this oid may be dropped for this
+    subscriber (for sliding windows this trails ``read_upto`` by up to a
+    window, unless the query caches intermediates and releases eagerly).
+    """
+
+    __slots__ = ("name", "read_upto", "released_upto", "paused")
+
+    def __init__(self, name: str, start_oid: int):
+        self.name = name
+        self.read_upto = start_oid
+        self.released_upto = start_oid
+        self.paused = False
+
+    def release(self, upto_oid: int) -> None:
+        if upto_oid > self.released_upto:
+            self.released_upto = upto_oid
+
+    def __repr__(self) -> str:
+        return (f"Subscription({self.name}, read={self.read_upto}, "
+                f"released={self.released_upto})")
+
+
+class Basket:
+    """A columnar stream buffer with subscriber-driven garbage collection."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name.lower()
+        self.schema = schema
+        self._bats: Dict[str, BAT] = {c.name: BAT(c.dtype)
+                                      for c in schema.columns}
+        self._arrival = BAT(dt.TIMESTAMP)
+        self._subs: Dict[str, Subscription] = {}
+        self._lock = threading.RLock()
+        self.locked_by: Optional[str] = None
+        # statistics (the demo's monitoring pane reads these)
+        self.total_in = 0
+        self.total_dropped = 0
+        self.high_water = 0
+        self.paused = False
+
+    # -- oid bookkeeping ------------------------------------------------
+
+    @property
+    def first_oid(self) -> int:
+        return self._arrival.hseqbase
+
+    @property
+    def next_oid(self) -> int:
+        return self._arrival.hseqbase + len(self._arrival)
+
+    def __len__(self) -> int:
+        return len(self._arrival)
+
+    # -- ingestion --------------------------------------------------------
+
+    def append_rows(self, rows: Iterable[Sequence[Any]], now: int) -> int:
+        """Append tuples with arrival time *now*; returns count."""
+        rows = list(rows)
+        if not rows:
+            return 0
+        if self.paused:
+            raise StreamError(f"stream {self.name!r} is paused")
+        width = len(self.schema)
+        for row in rows:
+            if len(row) != width:
+                raise StreamError(
+                    f"basket {self.name}: expected {width} values, got "
+                    f"{len(row)}")
+        with self._lock:
+            for i, coldef in enumerate(self.schema.columns):
+                self._bats[coldef.name].extend(
+                    [row[i] for row in rows], coerce=True)
+            self._arrival.extend(np.full(len(rows), now, dtype=np.int64))
+            self.total_in += len(rows)
+            self.high_water = max(self.high_water, len(self))
+        return len(rows)
+
+    def append_relation(self, rel: Relation, now: int) -> int:
+        if rel.names != self.schema.names:
+            rel = rel.renamed(self.schema.names)
+        n = rel.row_count
+        if n == 0:
+            return 0
+        with self._lock:
+            for coldef in self.schema.columns:
+                self._bats[coldef.name].append_bat(rel.column(coldef.name))
+            self._arrival.extend(np.full(n, now, dtype=np.int64))
+            self.total_in += n
+            self.high_water = max(self.high_water, len(self))
+        return n
+
+    # -- reading ------------------------------------------------------------
+
+    def relation(self, lo_oid: Optional[int] = None,
+                 hi_oid: Optional[int] = None) -> Relation:
+        """Tuples with oid in [lo_oid, hi_oid) as a relation (copied)."""
+        with self._lock:
+            lo = self.first_oid if lo_oid is None else max(lo_oid,
+                                                           self.first_oid)
+            hi = self.next_oid if hi_oid is None else min(hi_oid,
+                                                          self.next_oid)
+            start = lo - self.first_oid
+            stop = hi - self.first_oid
+            if stop < start:
+                stop = start
+            return Relation(
+                (c.name, self._bats[c.name].slice(start, stop))
+                for c in self.schema.columns)
+
+    def arrival_slice(self, lo_oid: int, hi_oid: int) -> np.ndarray:
+        with self._lock:
+            start = lo_oid - self.first_oid
+            stop = hi_oid - self.first_oid
+            return self._arrival.values[max(start, 0):max(stop, 0)].copy()
+
+    def oid_at_or_after(self, instant_ms: int) -> int:
+        """Smallest live oid whose arrival time is >= *instant_ms*."""
+        with self._lock:
+            pos = int(np.searchsorted(self._arrival.values, instant_ms,
+                                      side="left"))
+            return self.first_oid + pos
+
+    def column(self, name: str) -> BAT:
+        return self._bats[name.lower()]
+
+    # -- subscriptions & draining ----------------------------------------------
+
+    def subscribe(self, name: str, from_start: bool = False
+                  ) -> Subscription:
+        """Register a consumer; new subscribers start at the stream head
+        unless ``from_start`` replays the retained prefix."""
+        with self._lock:
+            if name in self._subs:
+                raise StreamError(
+                    f"subscription {name!r} already exists on basket "
+                    f"{self.name!r}")
+            start = self.first_oid if from_start else self.next_oid
+            sub = Subscription(name, start)
+            self._subs[name] = sub
+            return sub
+
+    def unsubscribe(self, name: str) -> None:
+        with self._lock:
+            self._subs.pop(name, None)
+
+    def subscriptions(self) -> List[Subscription]:
+        return list(self._subs.values())
+
+    def vacuum(self) -> int:
+        """Drop the prefix every subscription has released; returns the
+        number of tuples dropped. With no subscribers nothing is dropped
+        (the basket is then an unread buffer, like a table)."""
+        with self._lock:
+            if not self._subs:
+                return 0
+            floor = min(s.released_upto for s in self._subs.values())
+            drop = floor - self.first_oid
+            if drop <= 0:
+                return 0
+            for bat in self._bats.values():
+                bat.delete_head(drop)
+            self._arrival.delete_head(drop)
+            self.total_dropped += drop
+            return drop
+
+    # -- locking (factories bracket plan bodies with these) -------------------------
+
+    def lock(self, owner: str) -> None:
+        self._lock.acquire()
+        self.locked_by = owner
+
+    def unlock(self, owner: str) -> None:
+        self.locked_by = None
+        self._lock.release()
+
+    def stats(self) -> Dict[str, int]:
+        return {"size": len(self), "total_in": self.total_in,
+                "total_dropped": self.total_dropped,
+                "high_water": self.high_water,
+                "subscribers": len(self._subs)}
+
+    def __repr__(self) -> str:
+        return (f"Basket({self.name}, size={len(self)}, "
+                f"oids=[{self.first_oid},{self.next_oid}))")

@@ -1,0 +1,51 @@
+"""Clocks for the streaming runtime.
+
+All DataCell components take time from a :class:`Clock` so the whole
+system can run deterministically under :class:`SimulatedClock` (tests,
+benchmarks) or live under :class:`WallClock` (interactive examples).
+Times are integer milliseconds.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import StreamError
+
+
+class Clock:
+    """Abstract time source (milliseconds)."""
+
+    def now(self) -> int:
+        raise NotImplementedError
+
+
+class SimulatedClock(Clock):
+    """A manually advanced clock; never moves on its own."""
+
+    def __init__(self, start: int = 0):
+        self._now = int(start)
+
+    def now(self) -> int:
+        return self._now
+
+    def advance(self, delta_ms: int) -> int:
+        if delta_ms < 0:
+            raise StreamError("cannot advance the clock backwards")
+        self._now += int(delta_ms)
+        return self._now
+
+    def set(self, instant_ms: int) -> None:
+        if instant_ms < self._now:
+            raise StreamError("cannot move the clock backwards")
+        self._now = int(instant_ms)
+
+
+class WallClock(Clock):
+    """Real time, anchored so the stream starts near zero."""
+
+    def __init__(self):
+        self._anchor = time.monotonic()
+
+    def now(self) -> int:
+        return int((time.monotonic() - self._anchor) * 1000)

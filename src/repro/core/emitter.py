@@ -1,0 +1,101 @@
+"""Emitters: the delivery edge — one per standing-query client.
+
+A factory firing appends its (partial) result to the query's output
+side; the emitter drains that to a sink. Sinks collect, call back, or
+write out — the simulation-friendly stand-ins for the demo's network
+clients.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.mal.relation import Relation
+
+
+class Sink:
+    """Receives one result relation per factory firing."""
+
+    def deliver(self, result: Relation, now: int) -> None:
+        raise NotImplementedError
+
+
+class CollectingSink(Sink):
+    """Keeps every delivered batch; handy in tests and benchmarks."""
+
+    def __init__(self):
+        self.batches: List[Tuple[int, Relation]] = []
+
+    def deliver(self, result: Relation, now: int) -> None:
+        self.batches.append((now, result))
+
+    def rows(self) -> List[tuple]:
+        out: List[tuple] = []
+        for _now, rel in self.batches:
+            out.extend(rel.to_rows())
+        return out
+
+    def latest(self) -> Optional[Relation]:
+        return self.batches[-1][1] if self.batches else None
+
+    def clear(self) -> None:
+        self.batches = []
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+
+class CallbackSink(Sink):
+    """Invokes ``fn(result, now)`` per delivery."""
+
+    def __init__(self, fn: Callable[[Relation, int], Any]):
+        self.fn = fn
+
+    def deliver(self, result: Relation, now: int) -> None:
+        self.fn(result, now)
+
+
+class NullSink(Sink):
+    """Discards results (pure-throughput benchmarks)."""
+
+    def deliver(self, result: Relation, now: int) -> None:
+        return None
+
+
+class BasketSink(Sink):
+    """Appends results to a stream basket — the paper's *output
+    baskets*: a factory "creates a result set, which it then places in
+    its output baskets", where further standing queries (or emitters)
+    pick it up. This is what makes multi-stage query networks
+    (Figure 3) composable."""
+
+    def __init__(self, basket):
+        self.basket = basket
+
+    def deliver(self, result: Relation, now: int) -> None:
+        self.basket.append_relation(result, now)
+
+
+class Emitter:
+    """Fans one query's result batches out to its sinks."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.sinks: List[Sink] = []
+        self.total_batches = 0
+        self.total_rows = 0
+        self.last_delivery_time: Optional[int] = None
+
+    def add_sink(self, sink: Sink) -> None:
+        self.sinks.append(sink)
+
+    def deliver(self, result: Relation, now: int) -> None:
+        self.total_batches += 1
+        self.total_rows += result.row_count
+        self.last_delivery_time = now
+        for sink in self.sinks:
+            sink.deliver(result, now)
+
+    def __repr__(self) -> str:
+        return (f"Emitter({self.name}, batches={self.total_batches}, "
+                f"rows={self.total_rows})")

@@ -1,0 +1,601 @@
+"""The DataCell engine facade: SQL in, streams through, results out.
+
+One object wires the whole architecture of Figure 1 together: the
+catalog and persistent tables, stream baskets, receptors, the SQL
+compiler + optimizer stack, the continuous-plan rewriter, factories, the
+Petri-net scheduler and per-query emitters.
+
+Typical use::
+
+    engine = DataCellEngine()
+    engine.execute("CREATE STREAM sensors (sid INT, temp FLOAT)")
+    q = engine.register_continuous(
+        "SELECT sid, avg(temp) FROM sensors [RANGE 100 SLIDE 20] "
+        "GROUP BY sid")
+    engine.attach_source("sensors", RateSource(rows, rate=1000))
+    engine.run_until_drained()
+    print(engine.results(q.name).latest().pretty())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.basket import Basket
+from repro.core.clock import Clock, SimulatedClock
+from repro.core.emitter import CallbackSink, CollectingSink, Emitter, Sink
+from repro.core.factory import Factory, IncrementalFactory, ReevalFactory
+from repro.core.incremental import (IncrementalAnalysis,
+                                    UnsupportedIncremental,
+                                    analyze_incremental)
+from repro.core.monitor import Monitor
+from repro.core.receptor import Receptor
+from repro.core.rewriter import rewrite_to_continuous
+from repro.core.scheduler import PetriNetScheduler
+from repro.core.windows import BasicWindowTracker, WindowSpec, WindowState
+from repro.errors import BindError, CatalogError, StreamError
+from repro.mal.compiler import compile_plan
+from repro.mal.interpreter import MALContext, MALInterpreter
+from repro.mal.program import MALProgram
+from repro.mal.relation import Relation
+from repro.sql import ast
+from repro.sql.binder import Binder, Scope
+from repro.sql.optimizer import Optimizer
+from repro.sql.parser import parse, parse_script
+from repro.sql.plan import PlanNode, find_stream_scans
+from repro.sql.planner import Planner
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Schema
+from repro.streams.source import StreamSource
+
+
+class ContinuousQuery:
+    """A registered standing query and all its runtime attachments."""
+
+    def __init__(self, name: str, sql_text: str, plan: PlanNode,
+                 program: MALProgram, continuous_program: MALProgram,
+                 mode: str, factory: Factory, emitter: Emitter,
+                 sink: CollectingSink, streams: List[str],
+                 incremental_analysis: Optional[IncrementalAnalysis]):
+        self.name = name
+        self.sql_text = sql_text
+        self.plan = plan
+        self.program = program
+        self.continuous_program = continuous_program
+        self.mode = mode
+        self.factory = factory
+        self.emitter = emitter
+        self.sink = sink
+        self.streams = streams
+        self.incremental_analysis = incremental_analysis
+        # name of the output-basket stream, when results are chained
+        self.output_stream: Optional[str] = None
+        # registration knobs, kept for snapshot round-trips
+        self.knobs: Dict[str, Any] = {}
+
+    def __repr__(self) -> str:
+        return f"ContinuousQuery({self.name}, mode={self.mode})"
+
+
+class DataCellEngine:
+    """The top-level system object (one MonetDB/DataCell instance)."""
+
+    def __init__(self, clock: Optional[Clock] = None):
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.catalog = Catalog()
+        self.scheduler = PetriNetScheduler(self.clock)
+        self.monitor = Monitor(self)
+        self._receptors: Dict[str, List[Receptor]] = {}
+        self._queries: Dict[str, ContinuousQuery] = {}
+        self._qcounter = 0
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+
+    def now(self) -> int:
+        return self.clock.now()
+
+    # ------------------------------------------------------------------
+    # SQL entry point (DDL, DML, one-time queries)
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> Union[Relation, str, int]:
+        """Run one statement. SELECTs return a Relation; DDL returns a
+        confirmation string; INSERT returns the row count."""
+        stmt = parse(sql)
+        return self._execute_stmt(stmt)
+
+    def execute_script(self, sql: str) -> List[Union[Relation, str, int]]:
+        return [self._execute_stmt(s) for s in parse_script(sql)]
+
+    def _execute_stmt(self, stmt: ast.Statement):
+        if isinstance(stmt, (ast.SelectStmt, ast.UnionStmt)):
+            return self._one_time_select(stmt)
+        if isinstance(stmt, ast.CreateTableStmt):
+            self.catalog.create_table(stmt.name,
+                                      Schema.parse(stmt.columns))
+            return f"CREATE TABLE {stmt.name}"
+        if isinstance(stmt, ast.CreateStreamStmt):
+            self.create_stream(stmt.name, Schema.parse(stmt.columns))
+            return f"CREATE STREAM {stmt.name}"
+        if isinstance(stmt, ast.CreateIndexStmt):
+            self.catalog.table(stmt.table).create_index(stmt.column,
+                                                        stmt.kind)
+            return f"CREATE INDEX on {stmt.table}({stmt.column})"
+        if isinstance(stmt, ast.DropStmt):
+            if stmt.kind == "table":
+                self.catalog.drop_table(stmt.name)
+            else:
+                self.drop_stream(stmt.name)
+            return f"DROP {stmt.kind.upper()} {stmt.name}"
+        if isinstance(stmt, ast.InsertStmt):
+            return self._insert(stmt)
+        if isinstance(stmt, ast.DeleteStmt):
+            return self._delete(stmt)
+        if isinstance(stmt, ast.UpdateStmt):
+            return self._update(stmt)
+        if isinstance(stmt, ast.ExplainStmt):
+            plan = Optimizer().optimize(
+                Planner(self.catalog).plan(stmt.statement))
+            program = compile_plan(plan, "user.explain")
+            return plan.pretty() + "\n\n" + program.pretty()
+        raise BindError(f"cannot execute statement {stmt!r}")
+
+    def _match_positions(self, table, where: Optional[ast.Expr]):
+        """Row positions of *table* matching *where* (all when None)."""
+        import numpy as np
+
+        from repro.mal import kernel
+        from repro.mal.bat import all_candidates
+
+        if where is None:
+            return all_candidates(len(table)), None, None
+        scope = Scope()
+        scope.add_source(table.name, table.schema)
+        binder = Binder(scope)
+        predicate = binder.bind(where)
+        rel = table.scan().renamed(
+            [f"{table.name}.{n}" for n in table.schema.names])
+        mask = predicate.evaluate(rel)
+        return kernel.mask_select(mask), rel, scope
+
+    def _delete(self, stmt: ast.DeleteStmt) -> int:
+        table = self.catalog.table(stmt.table)
+        positions, _rel, _scope = self._match_positions(table, stmt.where)
+        return table.delete_positions(positions)
+
+    def _update(self, stmt: ast.UpdateStmt) -> int:
+        from repro.mal import kernel
+
+        table = self.catalog.table(stmt.table)
+        positions, rel, scope = self._match_positions(table, stmt.where)
+        if rel is None:
+            scope = Scope()
+            scope.add_source(table.name, table.schema)
+            rel = table.scan().renamed(
+                [f"{table.name}.{n}" for n in table.schema.names])
+        binder = Binder(scope)
+        selected = rel.take(positions)
+        # evaluate all right-hand sides against the pre-update rows so
+        # SET a = b, b = a swaps correctly
+        new_values = []
+        for column, expr in stmt.assignments:
+            target_type = table.schema.type_of(column)
+            bound = binder.bind(expr)
+            values = bound.evaluate(selected)
+            if values.dtype != target_type:
+                values = kernel.calc_cast(values, target_type)
+            new_values.append((column, values))
+        for column, values in new_values:
+            table.update_column(column, positions, values)
+        return len(positions)
+
+    def query(self, sql: str) -> Relation:
+        """One-time SELECT (over tables and/or current basket contents)."""
+        result = self.execute(sql)
+        if not isinstance(result, Relation):
+            raise BindError("query() expects a SELECT statement")
+        return result
+
+    def _one_time_select(self, stmt) -> Relation:
+        plan = Optimizer().optimize(Planner(self.catalog).plan(stmt))
+        program = compile_plan(plan, "user.onetime")
+        ctx = MALContext(self.catalog,
+                         stream_reader=self._basket_snapshot)
+        return MALInterpreter(ctx).run(program)
+
+    def _basket_snapshot(self, name: str) -> Relation:
+        return self.basket(name).relation()
+
+    def _insert(self, stmt: ast.InsertStmt) -> int:
+        target_is_stream = self.catalog.is_stream(stmt.table)
+        schema = self.catalog.schema_of(stmt.table)
+        columns = stmt.columns or schema.names
+        if stmt.select is not None:
+            rel = self._one_time_select(stmt.select)
+            rows = rel.to_rows()
+        else:
+            binder = Binder(Scope())
+            rows = []
+            for row_exprs in stmt.rows:
+                row = []
+                for expr in row_exprs:
+                    bound = binder.bind(expr)
+                    row.append(bound.const_value())
+                rows.append(row)
+        if list(columns) != schema.names:
+            index = {c: i for i, c in enumerate(columns)}
+            full_rows = []
+            for row in rows:
+                if len(row) != len(columns):
+                    raise BindError("INSERT: wrong number of values")
+                full_rows.append([
+                    row[index[c]] if c in index else None
+                    for c in schema.names])
+            rows = full_rows
+        if target_is_stream:
+            return self.basket(stmt.table).append_rows(rows, self.now())
+        self.catalog.table(stmt.table).insert_rows(rows)
+        return len(rows)
+
+    # ------------------------------------------------------------------
+    # streams
+    # ------------------------------------------------------------------
+
+    def create_stream(self, name: str, schema: Schema) -> Basket:
+        self.catalog.create_stream(name, schema)
+        basket = Basket(name, schema)
+        self.scheduler.add_basket(basket)
+        self._receptors[basket.name] = []
+        return basket
+
+    def drop_stream(self, name: str) -> None:
+        name = name.lower()
+        bound = [q.name for q in self._queries.values()
+                 if name in q.streams]
+        if bound:
+            raise StreamError(
+                f"stream {name!r} is bound by queries {bound}")
+        self.catalog.drop_stream(name)
+        self.scheduler.remove_basket(name)
+        self.scheduler.receptors = [
+            r for r in self.scheduler.receptors
+            if r.basket.name != name]
+        self._receptors.pop(name, None)
+
+    def basket(self, name: str) -> Basket:
+        try:
+            return self.scheduler.baskets[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no stream {name!r}") from None
+
+    def attach_source(self, stream: str, source: StreamSource,
+                      name: Optional[str] = None) -> Receptor:
+        """Create a receptor pumping *source* into the stream's basket."""
+        basket = self.basket(stream)
+        rname = name or f"{basket.name}_r{len(self._receptors[basket.name])}"
+        receptor = Receptor(rname, basket, source)
+        self._receptors[basket.name].append(receptor)
+        self.scheduler.add_receptor(receptor)
+        return receptor
+
+    def feed(self, stream: str, rows: Sequence[Sequence[Any]]) -> int:
+        """Push rows into a stream right now (external event driver)."""
+        return self.basket(stream).append_rows(rows, self.now())
+
+    def pause_stream(self, name: str) -> None:
+        self.basket(name)  # validate
+        for receptor in self._receptors[name.lower()]:
+            receptor.pause()
+
+    def resume_stream(self, name: str) -> None:
+        self.basket(name)
+        for receptor in self._receptors[name.lower()]:
+            receptor.resume()
+
+    # ------------------------------------------------------------------
+    # continuous queries
+    # ------------------------------------------------------------------
+
+    def register_continuous(self, sql: str, name: Optional[str] = None,
+                            mode: str = "auto", min_batch: int = 1,
+                            max_delay_ms: Optional[int] = None,
+                            cache_enabled: bool = True,
+                            sink: Optional[Sink] = None,
+                            output_stream: Optional[str] = None
+                            ) -> ContinuousQuery:
+        """Register a standing query.
+
+        ``mode``: ``"reeval"`` forces full re-evaluation per firing;
+        ``"incremental"`` forces basic-window processing (raises
+        :class:`UnsupportedIncremental` when the plan shape does not
+        allow it); ``"auto"`` picks incremental for sliding windows when
+        possible.
+
+        ``output_stream`` materializes the query's results as a new
+        stream (an *output basket*): each firing appends its partial
+        result there, and further continuous queries can consume it —
+        multi-stage query networks, as in the paper's Figure 3.
+        """
+        stmt = parse(sql)
+        if not isinstance(stmt, (ast.SelectStmt, ast.UnionStmt)):
+            raise BindError("continuous queries must be SELECT statements")
+        if name is None:
+            self._qcounter += 1
+            name = f"q{self._qcounter}"
+        name = name.lower()
+        if name in self._queries:
+            raise StreamError(f"query {name!r} already registered")
+
+        plan = Optimizer().optimize(Planner(self.catalog).plan(stmt))
+        scans = find_stream_scans(plan)
+        if not scans:
+            raise BindError(
+                "continuous query references no stream; use execute() "
+                "for one-time queries")
+        stream_names = [s.stream_name for s in scans]
+        if len(set(stream_names)) != len(stream_names):
+            raise StreamError(
+                "a stream may appear only once per continuous query")
+        specs = {s.stream_name: WindowSpec.from_clause(s.window)
+                 for s in scans}
+
+        program = compile_plan(plan, f"user.{name}")
+        continuous_program = rewrite_to_continuous(
+            program, stream_names, f"datacell.{name}")
+
+        analysis, resolved_mode = self._resolve_mode(plan, specs, mode)
+
+        emitter = Emitter(name)
+        collecting = CollectingSink()
+        emitter.add_sink(collecting)
+        if sink is not None:
+            emitter.add_sink(sink)
+        if output_stream is not None:
+            from repro.core.emitter import BasketSink
+
+            if self.catalog.is_stream(output_stream):
+                # reuse a pre-existing stream (snapshot restore) when
+                # the schema matches the query's output
+                out_basket = self.basket(output_stream)
+                if out_basket.schema.names != plan.schema.names:
+                    raise StreamError(
+                        f"output stream {output_stream!r} exists with "
+                        f"a different schema")
+            else:
+                out_basket = self.create_stream(output_stream,
+                                                plan.schema)
+            emitter.add_sink(BasketSink(out_basket))
+
+        baskets = {s: self.basket(s) for s in stream_names}
+        factory = self._build_factory(
+            name, plan, continuous_program, analysis, resolved_mode,
+            specs, baskets, emitter, min_batch, max_delay_ms,
+            cache_enabled)
+        self.scheduler.add_factory(factory)
+
+        query = ContinuousQuery(name, sql, plan, program,
+                                continuous_program, resolved_mode,
+                                factory, emitter, collecting,
+                                stream_names, analysis)
+        query.output_stream = output_stream
+        query.knobs = {"mode": mode, "min_batch": min_batch,
+                       "max_delay_ms": max_delay_ms,
+                       "cache_enabled": cache_enabled}
+        self._queries[name] = query
+        return query
+
+    def _resolve_mode(self, plan: PlanNode,
+                      specs: Dict[str, WindowSpec], mode: str):
+        if mode not in ("auto", "reeval", "incremental"):
+            raise StreamError(f"unknown execution mode {mode!r}")
+        if mode == "reeval":
+            return None, "reeval"
+        from repro.errors import WindowError
+        try:
+            analysis = analyze_incremental(plan)
+            for stream in specs:
+                specs[stream].basic_window_count  # divisibility check
+        except (UnsupportedIncremental, WindowError) as exc:
+            if mode == "incremental":
+                raise UnsupportedIncremental(str(exc)) from exc
+            return None, "reeval"
+        if mode == "auto" and not any(s.is_sliding or s.is_tumbling
+                                      for s in specs.values()):
+            return None, "reeval"
+        return analysis, "incremental"
+
+    def _build_factory(self, name, plan, continuous_program, analysis,
+                       mode, specs, baskets, emitter, min_batch,
+                       max_delay_ms, cache_enabled) -> Factory:
+        now = self.now()
+        if mode == "incremental":
+            trackers = {}
+            for stream, basket in baskets.items():
+                sub = basket.subscribe(name)
+                trackers[stream] = BasicWindowTracker(
+                    specs[stream], basket, sub, anchor_time=now)
+            return IncrementalFactory(name, analysis, trackers, baskets,
+                                      self.catalog, emitter,
+                                      cache_enabled)
+        window_states = {}
+        for stream, basket in baskets.items():
+            sub = basket.subscribe(name)
+            window_states[stream] = WindowState(specs[stream], basket,
+                                                sub, anchor_time=now)
+        return ReevalFactory(name, continuous_program, plan,
+                             window_states, baskets, self.catalog,
+                             emitter, min_batch, max_delay_ms)
+
+    def remove_query(self, name: str) -> None:
+        name = name.lower()
+        query = self._queries.pop(name, None)
+        if query is None:
+            raise StreamError(f"no continuous query {name!r}")
+        self.scheduler.remove_factory(name)
+        for stream in query.streams:
+            self.basket(stream).unsubscribe(name)
+            self.basket(stream).vacuum()
+
+    def continuous_query(self, name: str) -> ContinuousQuery:
+        try:
+            return self._queries[name.lower()]
+        except KeyError:
+            raise StreamError(f"no continuous query {name!r}") from None
+
+    def queries(self) -> List[ContinuousQuery]:
+        return list(self._queries.values())
+
+    def pause_query(self, name: str) -> None:
+        query = self.continuous_query(name)
+        query.factory.pause()
+        for stream in query.streams:
+            for sub in self.basket(stream).subscriptions():
+                if sub.name == name:
+                    sub.paused = True
+
+    def resume_query(self, name: str) -> None:
+        query = self.continuous_query(name)
+        query.factory.resume()
+        for stream in query.streams:
+            for sub in self.basket(stream).subscriptions():
+                if sub.name == name:
+                    sub.paused = False
+
+    def subscribe(self, query_name: str,
+                  callback: Callable[[Relation, int], Any]) -> None:
+        """Attach a client callback to a standing query's emitter."""
+        query = self.continuous_query(query_name)
+        query.emitter.add_sink(CallbackSink(callback))
+
+    def results(self, query_name: str) -> CollectingSink:
+        return self.continuous_query(query_name).sink
+
+    # ------------------------------------------------------------------
+    # driving the net
+    # ------------------------------------------------------------------
+
+    def step(self, advance_ms: int = 0) -> Dict[str, int]:
+        if advance_ms:
+            if not isinstance(self.clock, SimulatedClock):
+                raise StreamError("advance_ms needs a SimulatedClock")
+            self.clock.advance(advance_ms)
+        return self.scheduler.step()
+
+    def run_for(self, duration_ms: int, step_ms: int = 10
+                ) -> Dict[str, int]:
+        return self.scheduler.run_for(duration_ms, step_ms)
+
+    def run_until_drained(self, max_steps: int = 100000) -> Dict[str, int]:
+        return self.scheduler.run_until_drained(max_steps)
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        """Persist the whole engine state to *directory*: tables,
+        stream schemas and basket contents, and every standing query's
+        definition.
+
+        Restore semantics (see :meth:`restore`): standing queries are
+        re-registered and resume with the data arriving after the
+        restore point; tuples retained in baskets stay available to
+        one-time queries and to the archive path.
+        """
+        import json
+        import os
+
+        import numpy as np
+
+        from repro.storage.persistence import save_catalog
+
+        save_catalog(self.catalog, directory)
+        baskets_dir = os.path.join(directory, "baskets")
+        os.makedirs(baskets_dir, exist_ok=True)
+        basket_meta = {}
+        for name, basket in self.scheduler.baskets.items():
+            bdir = os.path.join(baskets_dir, name)
+            os.makedirs(bdir, exist_ok=True)
+            for coldef in basket.schema.columns:
+                np.save(os.path.join(bdir, coldef.name + ".npy"),
+                        basket.column(coldef.name).values,
+                        allow_pickle=coldef.dtype.is_string)
+            np.save(os.path.join(bdir, "__arrival.npy"),
+                    basket._arrival.values)
+            basket_meta[name] = {"first_oid": basket.first_oid,
+                                 "total_in": basket.total_in,
+                                 "total_dropped": basket.total_dropped}
+        queries = []
+        for query in self._queries.values():
+            entry = dict(query.knobs)
+            entry.update({"name": query.name, "sql": query.sql_text,
+                          "output_stream": query.output_stream})
+            queries.append(entry)
+        with open(os.path.join(directory, "engine.json"), "w") as f:
+            json.dump({"now": self.now(), "baskets": basket_meta,
+                       "queries": queries}, f, indent=2)
+
+    @classmethod
+    def restore(cls, directory: str,
+                clock: Optional[Clock] = None) -> "DataCellEngine":
+        """Rebuild an engine saved with :meth:`save`."""
+        import json
+        import os
+
+        import numpy as np
+
+        from repro.storage.persistence import load_catalog
+
+        with open(os.path.join(directory, "engine.json")) as f:
+            manifest = json.load(f)
+        engine = cls(clock=clock if clock is not None
+                     else SimulatedClock(manifest["now"]))
+        load_catalog(directory, into=engine.catalog)
+        # materialize baskets for every stream definition
+        for stream_def in engine.catalog.streams():
+            basket = Basket(stream_def.name, stream_def.schema)
+            engine.scheduler.add_basket(basket)
+            engine._receptors[basket.name] = []
+        for name, meta in manifest["baskets"].items():
+            basket = engine.basket(name)
+            bdir = os.path.join(directory, "baskets", name)
+            for coldef in basket.schema.columns:
+                values = np.load(
+                    os.path.join(bdir, coldef.name + ".npy"),
+                    allow_pickle=coldef.dtype.is_string)
+                basket.column(coldef.name).extend(values)
+            arrival = np.load(os.path.join(bdir, "__arrival.npy"))
+            basket._arrival.extend(arrival)
+            shift = meta["first_oid"]
+            for coldef in basket.schema.columns:
+                basket.column(coldef.name).hseqbase = shift
+            basket._arrival.hseqbase = shift
+            basket.total_in = meta["total_in"]
+            basket.total_dropped = meta["total_dropped"]
+        for entry in manifest["queries"]:
+            engine.register_continuous(
+                entry["sql"], name=entry["name"], mode=entry["mode"],
+                min_batch=entry["min_batch"],
+                max_delay_ms=entry["max_delay_ms"],
+                cache_enabled=entry["cache_enabled"],
+                output_stream=entry["output_stream"])
+        return engine
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def explain(self, sql_or_name: str) -> str:
+        """Plan view: for a registered query name, logical plan + MAL
+        before/after the continuous rewrite; for SQL text, the plan it
+        would get."""
+        if sql_or_name.lower() in self._queries:
+            return self.monitor.plans(sql_or_name.lower())
+        stmt = parse(sql_or_name)
+        if not isinstance(stmt, (ast.SelectStmt, ast.UnionStmt)):
+            raise BindError("can only explain SELECT statements")
+        plan = Optimizer().optimize(Planner(self.catalog).plan(stmt))
+        program = compile_plan(plan, "user.explain")
+        return plan.pretty() + "\n\n" + program.pretty()

@@ -1,0 +1,259 @@
+"""Factories: resident continuous-query co-routines.
+
+*"Continuous query plans are represented by factories [...] Each factory
+encloses a (partial) query plan and produces a partial result at each
+call. For this, a factory continuously reads data from the input baskets,
+evaluates its query plan and creates a result set, which it then places
+in its output baskets."*
+
+Two concrete factories implement the demo's two execution modes:
+
+* :class:`ReevalFactory` — re-runs the full (rewritten) MAL program over
+  the complete current window every firing;
+* :class:`IncrementalFactory` — processes each basic window once through
+  the per-slice pipeline, caches intermediates, and merges at firing
+  time (see :mod:`repro.core.incremental`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.core.basket import Basket
+from repro.core.emitter import Emitter
+from repro.core.incremental import IncrementalAnalysis, IncrementalExecutor
+from repro.core.windows import BasicWindowTracker, WindowState
+from repro.errors import FactoryError
+from repro.mal.interpreter import MALContext, MALInterpreter
+from repro.mal.program import MALProgram
+from repro.mal.relation import Relation
+from repro.sql.executor import ExecutionContext
+from repro.sql.plan import PlanNode
+from repro.storage.catalog import Catalog
+
+RUNNING = "running"
+PAUSED = "paused"
+FAILED = "failed"
+
+
+class _BasketHooks:
+    """Adapter so rewritten MAL programs can lock/drain real baskets."""
+
+    def __init__(self, owner: str, baskets: Dict[str, Basket]):
+        self.owner = owner
+        self.baskets = baskets
+        self.drains = 0
+
+    def lock(self, stream: str) -> None:
+        self.baskets[stream].lock(self.owner)
+
+    def unlock(self, stream: str) -> None:
+        self.baskets[stream].unlock(self.owner)
+
+    def drain(self, stream: str) -> None:
+        self.drains += 1  # the window cursor decides what is released
+
+
+class Factory:
+    """Base class: state machine + statistics shared by both modes."""
+
+    def __init__(self, name: str, baskets: Dict[str, Basket],
+                 emitter: Emitter):
+        self.name = name
+        self.baskets = baskets
+        self.emitter = emitter
+        self.state = RUNNING
+        self.fires = 0
+        self.tuples_in = 0
+        self.rows_out = 0
+        self.busy_seconds = 0.0
+        self.last_error: Optional[Exception] = None
+        self.last_result: Optional[Relation] = None
+
+    # scheduler protocol ------------------------------------------------
+
+    def poll(self, now: int) -> None:
+        """Absorb newly arrived data (incremental mode works here)."""
+        return None
+
+    def enabled(self, now: int) -> bool:
+        raise NotImplementedError
+
+    def fire(self, now: int) -> Optional[Relation]:
+        """One firing; delivers to the emitter and returns the result."""
+        if self.state != RUNNING:
+            return None
+        started = time.perf_counter()
+        try:
+            result = self._evaluate(now)
+        except Exception as exc:  # quarantine the factory, keep the net
+            self.state = FAILED
+            self.last_error = exc
+            raise FactoryError(
+                f"factory {self.name!r} failed: {exc}", self.name,
+                cause=exc) from exc
+        finally:
+            self.busy_seconds += time.perf_counter() - started
+        self.fires += 1
+        self.last_result = result
+        if result is not None:
+            self.rows_out += result.row_count
+            self.emitter.deliver(result, now)
+        return result
+
+    def _evaluate(self, now: int) -> Optional[Relation]:
+        raise NotImplementedError
+
+    def input_streams(self) -> List[str]:
+        return sorted(self.baskets)
+
+    def pause(self) -> None:
+        if self.state == RUNNING:
+            self.state = PAUSED
+
+    def resume(self) -> None:
+        if self.state == PAUSED:
+            self.state = RUNNING
+
+    def stats(self) -> Dict[str, float]:
+        return {"fires": self.fires, "tuples_in": self.tuples_in,
+                "rows_out": self.rows_out,
+                "busy_seconds": round(self.busy_seconds, 6),
+                "state": self.state}
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({self.name}, fires={self.fires}, "
+                f"state={self.state})")
+
+
+class ReevalFactory(Factory):
+    """Mode 1: full re-evaluation of the continuous MAL program.
+
+    Optional scheduler *time constraints* apply to unwindowed inputs:
+    hold the firing until ``min_batch`` tuples are pending or the oldest
+    pending tuple is ``max_delay_ms`` old — the paper's "possibly
+    delaying events in their baskets for some time".
+    """
+
+    def __init__(self, name: str, program: MALProgram, plan: PlanNode,
+                 window_states: Dict[str, WindowState],
+                 baskets: Dict[str, Basket], catalog: Catalog,
+                 emitter: Emitter, min_batch: int = 1,
+                 max_delay_ms: Optional[int] = None):
+        super().__init__(name, baskets, emitter)
+        self.program = program
+        self.plan = plan
+        self.window_states = window_states
+        self.catalog = catalog
+        self.min_batch = max(int(min_batch), 1)
+        self.max_delay_ms = max_delay_ms
+
+    def enabled(self, now: int) -> bool:
+        if self.state != RUNNING:
+            return False
+        states = list(self.window_states.values())
+        windowed = [w for w in states if w.spec.kind != "none"]
+        plain = [w for w in states if w.spec.kind == "none"]
+        if windowed:
+            if not all(w.ready(now) for w in windowed):
+                return False
+            return True
+        if not any(w.ready(now) for w in plain):
+            return False
+        return self._batch_ok(plain, now)
+
+    def _batch_ok(self, states: List[WindowState], now: int) -> bool:
+        if self.min_batch <= 1 and self.max_delay_ms is None:
+            return True
+        pending = sum(w.pending_tuples() for w in states)
+        if pending >= self.min_batch:
+            return True
+        if self.max_delay_ms is None:
+            return False
+        oldest = None
+        for w in states:
+            if w.pending_tuples() <= 0:
+                continue
+            arr = w.basket.arrival_slice(w.sub.read_upto,
+                                         w.sub.read_upto + 1)
+            if len(arr):
+                t = int(arr[0])
+                oldest = t if oldest is None else min(oldest, t)
+        return oldest is not None and now - oldest >= self.max_delay_ms
+
+    def _evaluate(self, now: int) -> Optional[Relation]:
+        slices: Dict[str, Relation] = {}
+        for stream, ws in self.window_states.items():
+            lo, hi = ws.slice_bounds(now)
+            rel = self.baskets[stream].relation(lo, hi)
+            slices[stream] = rel
+            self.tuples_in += rel.row_count
+        hooks = _BasketHooks(self.name, self.baskets)
+        ctx = MALContext(self.catalog,
+                         stream_reader=lambda name: slices[name],
+                         basket_hooks=hooks)
+        result = MALInterpreter(ctx).run(self.program)
+        for ws in self.window_states.values():
+            ws.advance(now)
+        return result
+
+
+class IncrementalFactory(Factory):
+    """Mode 2: per-basic-window processing with cached intermediates."""
+
+    def __init__(self, name: str, analysis: IncrementalAnalysis,
+                 trackers: Dict[str, BasicWindowTracker],
+                 baskets: Dict[str, Basket], catalog: Catalog,
+                 emitter: Emitter, cache_enabled: bool = True):
+        super().__init__(name, baskets, emitter)
+        self.analysis = analysis
+        self.trackers = trackers
+        self.catalog = catalog
+        self.executor = IncrementalExecutor(
+            analysis, ExecutionContext(catalog), cache_enabled)
+
+    def poll(self, now: int) -> None:
+        """Process every newly completed basic window exactly once."""
+        if self.state != RUNNING:
+            return
+        for stream, tracker in self.trackers.items():
+            for j, lo, hi in tracker.new_basic_windows(now):
+                slice_rel = self.baskets[stream].relation(lo, hi)
+                self.tuples_in += slice_rel.row_count
+                started = time.perf_counter()
+                try:
+                    self.executor.process_basic_window(stream, j,
+                                                       slice_rel)
+                except Exception as exc:
+                    self.state = FAILED
+                    self.last_error = exc
+                    raise FactoryError(
+                        f"factory {self.name!r} failed on basic window "
+                        f"{j} of {stream!r}: {exc}", self.name,
+                        cause=exc) from exc
+                finally:
+                    self.busy_seconds += time.perf_counter() - started
+
+    def enabled(self, now: int) -> bool:
+        if self.state != RUNNING:
+            return False
+        return all(t.ready(now) for t in self.trackers.values())
+
+    def _evaluate(self, now: int) -> Optional[Relation]:
+        compositions = {}
+        for stream, tracker in self.trackers.items():
+            _k, bws = tracker.window_composition()
+            compositions[stream] = bws
+        result = self.executor.fire(compositions)
+        floors: Dict[str, int] = {}
+        for stream, tracker in self.trackers.items():
+            tracker.advance()
+            floors[stream] = tracker.live_floor()
+        self.executor.evict(floors)
+        return result
+
+    def stats(self) -> Dict[str, float]:
+        out = super().stats()
+        out.update(self.executor.cache_stats())
+        return out

@@ -1,0 +1,111 @@
+"""Live mode: wall-clock execution with threaded receptors.
+
+The paper's receptors and emitters are "separate processes per stream
+and per client". Simulation mode (the default everywhere else) folds
+them into the deterministic scheduler loop; :class:`LiveRunner` is the
+faithful concurrent variant: one daemon thread per stream source pushes
+tuples as their timestamps come due against a
+:class:`~repro.core.clock.WallClock`, while a scheduler thread keeps
+evaluating the Petri net. Baskets are internally locked, so receptor
+appends and factory reads interleave safely.
+
+Use for interactive/demo deployments::
+
+    engine = DataCellEngine(clock=WallClock())
+    runner = LiveRunner(engine)
+    runner.attach("sensors", RateSource(rows, rate=100))
+    runner.start()
+    ...               # results arrive as wall-clock time passes
+    runner.stop()
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from repro.core.clock import WallClock
+from repro.core.engine import DataCellEngine
+from repro.core.receptor import ThreadedReceptor
+from repro.errors import StreamError
+from repro.streams.source import StreamSource
+
+
+class LiveRunner:
+    """Runs one engine continuously on real time."""
+
+    def __init__(self, engine: DataCellEngine,
+                 step_interval_s: float = 0.005):
+        if not isinstance(engine.clock, WallClock):
+            raise StreamError("LiveRunner needs an engine on a WallClock")
+        self.engine = engine
+        self.step_interval_s = step_interval_s
+        self._receptors: List[ThreadedReceptor] = []
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.steps = 0
+
+    def attach(self, stream: str, source: StreamSource,
+               name: Optional[str] = None) -> ThreadedReceptor:
+        """Create a threaded receptor for *stream* (started by
+        :meth:`start`)."""
+        if self._thread is not None:
+            raise StreamError("attach sources before start()")
+        basket = self.engine.basket(stream)
+        receptor = ThreadedReceptor(
+            name or f"{basket.name}_live{len(self._receptors)}",
+            basket, source, self.engine.clock)
+        self._receptors.append(receptor)
+        return receptor
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise StreamError("runner already started")
+        for receptor in self._receptors:
+            receptor.start()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="datacell-scheduler")
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.engine.scheduler.step()
+            self.steps += 1
+            time.sleep(self.step_interval_s)
+
+    def stop(self, timeout_s: float = 2.0) -> None:
+        """Stop receptors and the scheduler thread (idempotent)."""
+        self._stop.set()
+        for receptor in self._receptors:
+            receptor.stop(timeout_s)
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+            self._thread = None
+        # one final pass so everything already ingested gets processed
+        self.engine.scheduler.step()
+
+    def drained(self) -> bool:
+        """True when every attached source is exhausted and no factory
+        can fire."""
+        if any(not r.exhausted for r in self._receptors):
+            return False
+        return not self.engine.scheduler.enabled_transitions()
+
+    def wait_drained(self, timeout_s: float = 10.0) -> bool:
+        """Block until :meth:`drained` (or timeout); returns success."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.drained():
+                return True
+            time.sleep(0.01)
+        return False
+
+    def __enter__(self) -> "LiveRunner":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

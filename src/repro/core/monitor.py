@@ -1,0 +1,173 @@
+"""Monitoring: the textual equivalent of the demo's GUI panes.
+
+* :meth:`Monitor.network` — the query-network view (Figure 3): which
+  receptor feeds which basket, which factories bind it, where results go.
+* :meth:`Monitor.analysis` — the analysis pane (Figure 4): per-query and
+  network-wide throughput/latency counters over the run.
+* :meth:`Monitor.plans` — the plan inspection view (Figure 2/3): logical
+  plan, one-time MAL, continuous MAL side by side.
+* :meth:`Monitor.timeseries` — sampled basket/factory counters for
+  "continuous monitoring of inputs sizes and intermediate result sizes".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.rewriter import plan_diff
+
+
+class Monitor:
+    """Reads engine state; owns the sampled time series."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.samples: List[Dict] = []
+
+    # -- sampling ---------------------------------------------------------
+
+    def sample(self) -> Dict:
+        """Record one snapshot of basket sizes and factory counters."""
+        snap = {
+            "t": self.engine.now(),
+            "baskets": {name: basket.stats()
+                        for name, basket in
+                        self.engine.scheduler.baskets.items()},
+            "factories": {f.name: f.stats()
+                          for f in self.engine.scheduler.factories},
+        }
+        self.samples.append(snap)
+        return snap
+
+    def timeseries(self, basket: Optional[str] = None,
+                   metric: str = "size") -> List:
+        """Sampled series ``[(t, value)]`` for one basket metric."""
+        out = []
+        for snap in self.samples:
+            if basket is None:
+                value = sum(b[metric] for b in snap["baskets"].values())
+            else:
+                value = snap["baskets"][basket][metric]
+            out.append((snap["t"], value))
+        return out
+
+    # -- panes ---------------------------------------------------------------
+
+    def network(self) -> str:
+        """Query-network topology as indented text (demo Figure 3)."""
+        lines = ["query network:"]
+        eng = self.engine
+        for receptor in eng.scheduler.receptors:
+            state = " (paused)" if receptor.paused else ""
+            lines.append(f"  receptor {receptor.name}{state} "
+                         f"-> basket {receptor.basket.name} "
+                         f"[{receptor.total_ingested} in]")
+        for name, basket in eng.scheduler.baskets.items():
+            stats = basket.stats()
+            lines.append(f"  basket {name}: size={stats['size']} "
+                         f"in={stats['total_in']} "
+                         f"dropped={stats['total_dropped']} "
+                         f"hw={stats['high_water']}")
+            for sub in basket.subscriptions():
+                lines.append(f"    bound by {sub.name}: "
+                             f"read@{sub.read_upto} "
+                             f"released@{sub.released_upto}"
+                             + (" (paused)" if sub.paused else ""))
+        for factory in eng.scheduler.factories:
+            inputs = ", ".join(factory.input_streams())
+            lines.append(f"  factory {factory.name} [{factory.state}] "
+                         f"<- {{{inputs}}} fires={factory.fires} "
+                         f"out={factory.rows_out}")
+            lines.append(f"    -> emitter {factory.emitter.name} "
+                         f"({factory.emitter.total_batches} batches)")
+        return "\n".join(lines)
+
+    def analysis(self) -> str:
+        """Aggregated performance metrics (demo Figure 4)."""
+        eng = self.engine
+        lines = [f"analysis @ t={eng.now()}ms "
+                 f"(steps={eng.scheduler.steps}, "
+                 f"fired={eng.scheduler.total_fired}):"]
+        total_in = total_out = 0
+        busy = 0.0
+        for factory in eng.scheduler.factories:
+            stats = factory.stats()
+            total_in += stats["tuples_in"]
+            total_out += stats["rows_out"]
+            busy += stats["busy_seconds"]
+            per_fire = (stats["busy_seconds"] / stats["fires"] * 1000
+                        if stats["fires"] else 0.0)
+            lines.append(
+                f"  {factory.name}: fires={stats['fires']} "
+                f"in={stats['tuples_in']} out={stats['rows_out']} "
+                f"busy={stats['busy_seconds']:.4f}s "
+                f"({per_fire:.3f} ms/fire)")
+            extra = {k: v for k, v in stats.items()
+                     if k.endswith(("cached", "computed", "reused",
+                                    "_rows"))}
+            if extra:
+                lines.append("    cache: " + ", ".join(
+                    f"{k}={v}" for k, v in sorted(extra.items())))
+        lines.append(f"  network totals: in={total_in} out={total_out} "
+                     f"busy={busy:.4f}s")
+        return "\n".join(lines)
+
+    def plans(self, query_name: str) -> str:
+        """Logical plan + MAL before/after the continuous rewrite."""
+        query = self.engine.continuous_query(query_name)
+        parts = [f"-- {query.name}: {query.sql_text}",
+                 f"-- mode: {query.mode}",
+                 "-- logical plan --", query.plan.pretty()]
+        if query.incremental_analysis is not None:
+            parts.append(query.incremental_analysis.describe())
+        parts.append(plan_diff(query.program, query.continuous_program))
+        return "\n".join(parts)
+
+    def intermediates(self, query_name: str) -> str:
+        """Where tuples live right now (demo: "monitor where tuples
+        live at any point in time, i.e., in which intermediate columns
+        wait or which operators they feed").
+
+        For incremental queries: every cached basic-window slice,
+        partial-aggregate state and join-pair intermediate with its row
+        count. For re-evaluation queries: the raw window the basket
+        retains for the next firing.
+        """
+        query = self.engine.continuous_query(query_name)
+        lines = [f"intermediates of {query.name!r} ({query.mode}):"]
+        for stream in query.streams:
+            basket = self.engine.scheduler.baskets[stream]
+            for sub in basket.subscriptions():
+                if sub.name != query.name:
+                    continue
+                waiting = basket.next_oid - sub.read_upto
+                retained = sub.read_upto - max(sub.released_upto,
+                                               basket.first_oid)
+                lines.append(
+                    f"  basket {stream}: {waiting} tuples waiting, "
+                    f"{max(retained, 0)} consumed-but-retained")
+        factory = query.factory
+        executor = getattr(factory, "executor", None)
+        if executor is None:
+            lines.append("  (re-evaluation mode: no cached "
+                         "intermediates, full window re-read per fire)")
+            return "\n".join(lines)
+        for (stream, bw), rel in sorted(executor._slices.items()):
+            lines.append(f"  slice cache [{stream} bw{bw}]: "
+                         f"{rel.row_count} rows "
+                         f"({', '.join(rel.names)})")
+        for (stream, bw), partial in sorted(executor._partials.items()):
+            lines.append(f"  partial states [{stream} bw{bw}]: "
+                         f"{len(partial)} groups")
+        for pair, payload in sorted(executor._pairs.items()):
+            size = payload.row_count if hasattr(payload, "row_count") \
+                else len(payload)
+            kind = "rows" if hasattr(payload, "row_count") else "groups"
+            lines.append(f"  join-pair cache {pair}: {size} {kind}")
+        if len(lines) == 1:
+            lines.append("  (nothing cached)")
+        return "\n".join(lines)
+
+    def report(self) -> str:
+        """Everything at once."""
+        return self.network() + "\n\n" + self.analysis()

@@ -1,0 +1,133 @@
+"""Receptors: the ingestion edge of the DataCell architecture.
+
+*"It contains receptors and emitters, i.e., a set of separate processes
+per stream and per client, respectively, to listen for new data and to
+deliver results."* In simulation mode a receptor is *pumped* by the
+scheduler loop: every pump appends all source events whose timestamp has
+been reached to the stream's basket. A threaded live mode is available
+for interactive use.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.basket import Basket
+from repro.core.clock import Clock
+from repro.errors import StreamError
+from repro.streams.source import StreamSource
+
+
+class Receptor:
+    """Feeds one basket from one source."""
+
+    def __init__(self, name: str, basket: Basket,
+                 source: Optional[StreamSource] = None):
+        self.name = name
+        self.basket = basket
+        self._iter = iter(source) if source is not None else None
+        self._pending: Optional[Tuple[int, Sequence[Any]]] = None
+        self.paused = False
+        self.total_ingested = 0
+        self.exhausted = source is None
+
+    # -- simulation-mode pumping --------------------------------------
+
+    def pump(self, now: int) -> int:
+        """Ingest every source event with timestamp <= now."""
+        if self.paused or self._iter is None:
+            return 0
+        batch: List[Sequence[Any]] = []
+        batch_ts = None
+        appended = 0
+        while True:
+            if self._pending is None:
+                self._pending = next(self._iter, None)
+                if self._pending is None:
+                    self.exhausted = True
+                    break
+            ts, row = self._pending
+            if ts > now:
+                break
+            # group consecutive same-timestamp rows into one append
+            if batch and ts != batch_ts:
+                appended += self.basket.append_rows(batch, batch_ts)
+                batch = []
+            batch_ts = ts
+            batch.append(row)
+            self._pending = None
+        if batch:
+            appended += self.basket.append_rows(batch, batch_ts)
+        self.total_ingested += appended
+        return appended
+
+    def next_event_time(self) -> Optional[int]:
+        """Timestamp of the next undelivered event (None when drained)."""
+        if self._iter is None:
+            return None
+        if self._pending is None:
+            self._pending = next(self._iter, None)
+            if self._pending is None:
+                self.exhausted = True
+                return None
+        return self._pending[0]
+
+    # -- direct ingestion (no source) -------------------------------------
+
+    def feed(self, rows: Sequence[Sequence[Any]], now: int) -> int:
+        """Push rows straight into the basket (external driver)."""
+        if self.paused:
+            raise StreamError(f"receptor {self.name!r} is paused")
+        n = self.basket.append_rows(rows, now)
+        self.total_ingested += n
+        return n
+
+    def pause(self) -> None:
+        self.paused = True
+
+    def resume(self) -> None:
+        self.paused = False
+
+    def __repr__(self) -> str:
+        return (f"Receptor({self.name} -> {self.basket.name}, "
+                f"ingested={self.total_ingested})")
+
+
+class ThreadedReceptor(Receptor):
+    """Live-mode receptor: a daemon thread that sleeps until each event's
+    timestamp and appends it — one 'separate process per stream'."""
+
+    def __init__(self, name: str, basket: Basket, source: StreamSource,
+                 clock: Clock):
+        super().__init__(name, basket, source)
+        self.clock = clock
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise StreamError("receptor thread already started")
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name=f"receptor-{self.name}")
+        self._thread.start()
+
+    def stop(self, timeout: float = 1.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            upcoming = self.next_event_time()
+            if upcoming is None:
+                return
+            delay_ms = upcoming - self.clock.now()
+            if delay_ms > 0:
+                time.sleep(min(delay_ms / 1000.0, 0.05))
+                continue
+            if not self.paused:
+                self.pump(self.clock.now())
+            else:
+                time.sleep(0.01)

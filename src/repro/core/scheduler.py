@@ -1,0 +1,181 @@
+"""The DataCell scheduler: a Petri-net over baskets and factories.
+
+*"The execution of the factories is orchestrated by the DataCell
+scheduler, which implements a Petri-net model. The firing condition is
+aligned to arrival of events; once there are tuples that may be relevant
+to a waiting query, we trigger its evaluation."*
+
+Places are baskets (tokens = pending tuples), transitions are factories;
+receptors inject tokens, emitters remove them. :meth:`PetriNetScheduler.step`
+is one net evaluation: pump receptors, let factories absorb basic
+windows, fire every enabled transition (repeatedly, so factory chains
+cascade within a step), then vacuum consumed prefixes.
+
+The scheduler runs against a :class:`~repro.core.clock.Clock`; with a
+:class:`~repro.core.clock.SimulatedClock` whole benchmark runs are
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.basket import Basket
+from repro.core.clock import Clock, SimulatedClock
+from repro.core.factory import FAILED, Factory
+from repro.core.receptor import Receptor
+from repro.errors import FactoryError, SchedulerError
+
+_MAX_CASCADE = 64
+# a factory may legitimately fire many windows per step (catch-up after
+# a pause, a burst of arrivals), but staying enabled for this many
+# consecutive firings means it consumes nothing
+_MAX_BURST = 100_000
+
+
+class PetriNetScheduler:
+    """Event-driven orchestration of receptors, factories, baskets."""
+
+    def __init__(self, clock: Clock):
+        self.clock = clock
+        self.receptors: List[Receptor] = []
+        self.factories: List[Factory] = []
+        self.baskets: Dict[str, Basket] = {}
+        self.steps = 0
+        self.total_fired = 0
+        self.failed: List[FactoryError] = []
+        # stop-the-net switch for inspection (demo pause button)
+        self.paused = False
+
+    # -- registration --------------------------------------------------
+
+    def add_basket(self, basket: Basket) -> None:
+        if basket.name in self.baskets:
+            raise SchedulerError(f"basket {basket.name!r} already placed")
+        self.baskets[basket.name] = basket
+
+    def remove_basket(self, name: str) -> None:
+        self.baskets.pop(name.lower(), None)
+
+    def add_receptor(self, receptor: Receptor) -> None:
+        self.receptors.append(receptor)
+
+    def add_factory(self, factory: Factory) -> None:
+        self.factories.append(factory)
+
+    def remove_factory(self, name: str) -> None:
+        self.factories = [f for f in self.factories if f.name != name]
+
+    # -- the net ---------------------------------------------------------
+
+    def enabled_transitions(self, now: Optional[int] = None
+                            ) -> List[Factory]:
+        now = self.clock.now() if now is None else now
+        return [f for f in self.factories
+                if f.state != FAILED and f.enabled(now)]
+
+    def step(self) -> Dict[str, int]:
+        """One net evaluation at the current clock time."""
+        if self.paused:
+            return {"ingested": 0, "fired": 0, "dropped": 0}
+        now = self.clock.now()
+        self.steps += 1
+        ingested = 0
+        for receptor in self.receptors:
+            ingested += receptor.pump(now)
+
+        fired = 0
+        for _round in range(_MAX_CASCADE):
+            progressed = 0
+            for factory in self.factories:
+                if factory.state == FAILED:
+                    continue
+                try:
+                    factory.poll(now)
+                except FactoryError as exc:
+                    self.failed.append(exc)
+                    continue
+                burst = 0
+                while factory.enabled(now):
+                    try:
+                        factory.fire(now)
+                    except FactoryError as exc:
+                        self.failed.append(exc)
+                        break
+                    progressed += 1
+                    burst += 1
+                    if burst > _MAX_BURST:
+                        raise SchedulerError(
+                            f"factory {factory.name!r} stayed enabled "
+                            f"after {_MAX_BURST} consecutive firings "
+                            f"(did not quiesce; consuming nothing?)")
+            fired += progressed
+            if progressed == 0:
+                break
+        else:
+            raise SchedulerError(
+                "factory network did not quiesce (livelock?)")
+
+        dropped = 0
+        for basket in self.baskets.values():
+            dropped += basket.vacuum()
+        self.total_fired += fired
+        return {"ingested": ingested, "fired": fired, "dropped": dropped}
+
+    # -- simulation drivers ------------------------------------------------
+
+    def run_for(self, duration_ms: int, step_ms: int = 10
+                ) -> Dict[str, int]:
+        """Advance a simulated clock in fixed steps for *duration_ms*."""
+        if not isinstance(self.clock, SimulatedClock):
+            raise SchedulerError("run_for needs a SimulatedClock")
+        if step_ms <= 0:
+            raise SchedulerError("step_ms must be positive")
+        totals = {"ingested": 0, "fired": 0, "dropped": 0}
+        end = self.clock.now() + duration_ms
+        while self.clock.now() < end:
+            self.clock.advance(min(step_ms, end - self.clock.now()))
+            out = self.step()
+            for key in totals:
+                totals[key] += out[key]
+        return totals
+
+    def run_until_drained(self, max_steps: int = 100000,
+                          step_ms: int = 10) -> Dict[str, int]:
+        """Step until every receptor is exhausted and no factory can fire.
+
+        With a simulated clock, time advances to the next source event so
+        runs take as many steps as there are distinct event times, not
+        wall-clock duration.
+        """
+        totals = {"ingested": 0, "fired": 0, "dropped": 0}
+        simulated = isinstance(self.clock, SimulatedClock)
+        for _ in range(max_steps):
+            out = self.step()
+            for key in totals:
+                totals[key] += out[key]
+            live_receptors = [r for r in self.receptors
+                              if not r.exhausted and not r.paused]
+            if out["fired"] == 0 and out["ingested"] == 0 \
+                    and not live_receptors:
+                return totals
+            if simulated and out["ingested"] == 0 and out["fired"] == 0:
+                upcoming = [r.next_event_time() for r in live_receptors]
+                upcoming = [t for t in upcoming if t is not None]
+                if upcoming:
+                    target = max(min(upcoming), self.clock.now() + 1)
+                    self.clock.set(target)
+                else:
+                    self.clock.advance(step_ms)
+        raise SchedulerError(f"did not drain within {max_steps} steps")
+
+    # -- monitoring ----------------------------------------------------------
+
+    def network_stats(self) -> Dict[str, Dict]:
+        return {
+            "steps": self.steps,
+            "total_fired": self.total_fired,
+            "baskets": {n: b.stats() for n, b in self.baskets.items()},
+            "factories": {f.name: f.stats() for f in self.factories},
+            "failed": [str(e) for e in self.failed],
+        }

@@ -1,0 +1,7 @@
+"""The columnar kernel: BATs, bulk operators, MAL programs."""
+
+from repro.mal.bat import BAT, all_candidates, as_candidates, empty_candidates
+from repro.mal.relation import Relation
+
+__all__ = ["BAT", "Relation", "all_candidates", "as_candidates",
+           "empty_candidates"]

@@ -1,0 +1,399 @@
+"""Logical plan -> MAL program compiler.
+
+Mirrors MonetDB's SQL-to-MAL code generation closely enough for the
+DataCell story: scans become ``sql.bind`` (or ``basket.bind`` for
+streams), selections become ``algebra.thetaselect`` / ``algebra.select``
+with candidate lists, late reconstruction is explicit
+``algebra.projection`` instructions, and the program ends in
+``sql.resultSet``. The DataCell rewriter then edits this program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MALError
+from repro.mal.program import Const, MALProgram, Var
+from repro.sql.expressions import (BoundAgg, BoundArith, BoundCase,
+                                   BoundCast, BoundColumn, BoundCompare,
+                                   BoundExpr, BoundFunc, BoundInList,
+                                   BoundIsNull, BoundLike, BoundLiteral,
+                                   BoundLogical, BoundNeg, BoundNot)
+from repro.sql.plan import (AggregateNode, DistinctNode, FilterNode,
+                            JoinNode, LimitNode, PlanNode, ProjectNode,
+                            ScanNode, SortNode, StreamScanNode,
+                            UnionNode)
+from repro.sql.planner import split_conjuncts
+
+_CMP_NAMES = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le",
+              ">": "gt", ">=": "ge"}
+_ARITH_NAMES = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod"}
+
+
+class _Cols:
+    """Aligned column environment for one plan subtree."""
+
+    def __init__(self, mapping: Dict[str, Var]):
+        self.mapping = dict(mapping)
+
+    def var(self, key: str) -> Var:
+        try:
+            return self.mapping[key]
+        except KeyError:
+            raise MALError(f"MAL compile: no column {key!r}; have "
+                           f"{sorted(self.mapping)}") from None
+
+    def anchor(self) -> Var:
+        if not self.mapping:
+            raise MALError("MAL compile: empty column environment")
+        return next(iter(self.mapping.values()))
+
+    def items(self):
+        return self.mapping.items()
+
+
+class MALCompiler:
+    """Compiles optimized logical plans to :class:`MALProgram`."""
+
+    def __init__(self):
+        self.program: Optional[MALProgram] = None
+
+    def compile(self, plan: PlanNode, name: str = "user.s0") -> MALProgram:
+        self.program = MALProgram(name, kind="query")
+        cols = self._node(plan)
+        names = plan.schema.names
+        args: List = [Const(tuple(names))]
+        args.extend(cols.var(n) for n in names)
+        self.program.emit("sql.resultSet", *args, results=0,
+                          comment="deliver result to client")
+        return self.program
+
+    # -- plan dispatch ---------------------------------------------------
+
+    def _node(self, node: PlanNode) -> _Cols:
+        if isinstance(node, ScanNode):
+            return self._scan(node, "sql.bind", node.table_name)
+        if isinstance(node, StreamScanNode):
+            return self._scan(node, "sql.bind", node.stream_name,
+                              comment="stream read as one-time query")
+        if isinstance(node, FilterNode):
+            return self._filter(node)
+        if isinstance(node, ProjectNode):
+            return self._project(node)
+        if isinstance(node, JoinNode):
+            return self._join(node)
+        if isinstance(node, AggregateNode):
+            return self._aggregate(node)
+        if isinstance(node, SortNode):
+            return self._sort(node)
+        if isinstance(node, LimitNode):
+            return self._limit(node)
+        if isinstance(node, DistinctNode):
+            return self._distinct(node)
+        if isinstance(node, UnionNode):
+            return self._union(node)
+        raise MALError(f"cannot compile plan node {node!r}")
+
+    def _union(self, node: UnionNode) -> _Cols:
+        branch_cols = [self._node(child) for child in node.children]
+        names = node.schema.names
+        mapping: Dict[str, Var] = {}
+        for i, name in enumerate(names):
+            merged = branch_cols[0].var(node.children[0].schema.names[i])
+            for child, cols in zip(node.children[1:], branch_cols[1:]):
+                other = cols.var(child.schema.names[i])
+                merged = self.program.emit(
+                    "bat.concat", merged, other,
+                    comment=f"union all column {name}")
+            mapping[name] = merged
+        return _Cols(mapping)
+
+    def _scan(self, node, opcode: str, source: str,
+              comment: str = "") -> _Cols:
+        keys = node.needed if node.needed is not None \
+            else node.schema.names
+        if not keys:  # always bind at least one column as the row anchor
+            keys = [node.schema.names[0]]
+        mapping = {}
+        for key in keys:
+            bare = key.split(".", 1)[1]
+            mapping[key] = self.program.emit(
+                opcode, Const(source), Const(bare), comment=comment)
+        return _Cols(mapping)
+
+    # -- filter -----------------------------------------------------------
+
+    def _filter(self, node: FilterNode) -> _Cols:
+        cols = self._node(node.child)
+        cand = None
+        rest: List[BoundExpr] = []
+        for conj in split_conjuncts(node.predicate):
+            simple = self._simple_theta(conj, cols)
+            if simple is not None:
+                col_var, op, value = simple
+                args = [col_var]
+                if cand is not None:
+                    args.append(cand)
+                args.extend([Const(value), Const(op)])
+                cand = self.program.emit(
+                    "algebra.thetaselect", *args,
+                    comment=f"select {conj.sql()}")
+            else:
+                rest.append(conj)
+        if rest:
+            current = _Cols(dict(cols.items()))
+            if cand is not None:
+                current = self._reconstruct(current, cand)
+                cols = current
+                cand = None
+            mask = None
+            for conj in rest:
+                mask = self._expr(conj, cols)
+                cand = self.program.emit(
+                    "algebra.maskselect", mask,
+                    *( [cand] if cand is not None else [] ),
+                    comment=f"select {conj.sql()}")
+                cols = self._reconstruct(cols, cand)
+                cand = None
+            return cols
+        if cand is None:
+            return cols
+        return self._reconstruct(cols, cand)
+
+    @staticmethod
+    def _simple_theta(conj: BoundExpr, cols: _Cols
+                      ) -> Optional[Tuple[Var, str, object]]:
+        if (isinstance(conj, BoundCompare)
+                and isinstance(conj.left, BoundColumn)
+                and isinstance(conj.right, BoundLiteral)
+                and conj.right.value is not None):
+            return (cols.var(conj.left.key), conj.op, conj.right.value)
+        if (isinstance(conj, BoundCompare)
+                and isinstance(conj.right, BoundColumn)
+                and isinstance(conj.left, BoundLiteral)
+                and conj.left.value is not None):
+            flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                    "==": "==", "!=": "!="}
+            return (cols.var(conj.right.key), flip[conj.op],
+                    conj.left.value)
+        return None
+
+    def _reconstruct(self, cols: _Cols, cand: Var) -> _Cols:
+        """Late tuple reconstruction of every live column."""
+        mapping = {}
+        for key, var in cols.items():
+            mapping[key] = self.program.emit(
+                "algebra.projection", cand, var,
+                comment=f"reconstruct {key}")
+        return _Cols(mapping)
+
+    # -- project ------------------------------------------------------------
+
+    def _project(self, node: ProjectNode) -> _Cols:
+        cols = self._node(node.child)
+        mapping = {}
+        for expr, name in zip(node.exprs, node.names):
+            mapping[name] = self._expr(expr, cols)
+        return _Cols(mapping)
+
+    # -- join -----------------------------------------------------------------
+
+    def _join(self, node: JoinNode) -> _Cols:
+        left = self._node(node.left)
+        right = self._node(node.right)
+        if node.join_type in ("semi", "anti"):
+            lkey = self._expr(node.left_key, left)
+            rkey = self._expr(node.right_key, right)
+            cand = self.program.emit(
+                f"algebra.{node.join_type}join", lkey, rkey,
+                comment=f"{node.join_type} join on "
+                        f"{node.left_key.sql()} = {node.right_key.sql()}")
+            return self._reconstruct(left, cand)
+        outer = node.join_type == "left"
+        if node.left_key is None:
+            lcand, rcand = self.program.emit(
+                "algebra.crossproduct", left.anchor(), right.anchor(),
+                results=2, comment="cross product")
+        else:
+            lkey = self._expr(node.left_key, left)
+            rkey = self._expr(node.right_key, right)
+            opcode = "algebra.leftjoin" if outer else "algebra.join"
+            lcand, rcand = self.program.emit(
+                opcode, lkey, rkey, results=2,
+                comment=f"{'left outer' if outer else 'hash'} join on "
+                        f"{node.left_key.sql()} = {node.right_key.sql()}")
+        mapping = {}
+        for key, var in left.items():
+            mapping[key] = self.program.emit(
+                "algebra.projection", lcand, var,
+                comment=f"fetch {key} (left)")
+        right_fetch = "algebra.outerprojection" if outer \
+            else "algebra.projection"
+        for key, var in right.items():
+            mapping[key] = self.program.emit(
+                right_fetch, rcand, var,
+                comment=f"fetch {key} (right)")
+        cols = _Cols(mapping)
+        if node.residual is not None:
+            mask = self._expr(node.residual, cols)
+            cand = self.program.emit(
+                "algebra.maskselect", mask,
+                comment=f"residual {node.residual.sql()}")
+            cols = self._reconstruct(cols, cand)
+        return cols
+
+    # -- aggregate ----------------------------------------------------------------
+
+    def _aggregate(self, node: AggregateNode) -> _Cols:
+        cols = self._node(node.child)
+        mapping: Dict[str, Var] = {}
+        if node.group_exprs:
+            gids = None
+            reps = None
+            ngroups = None
+            group_vars = [self._expr(e, cols) for e in node.group_exprs]
+            for gv, ge in zip(group_vars, node.group_exprs):
+                args = [gv] + ([gids] if gids is not None else [])
+                gids, reps, ngroups = self.program.emit(
+                    "group.subgroup", *args, results=3,
+                    comment=f"group by {ge.sql()}")
+            for name, gv in zip(node.group_names, group_vars):
+                mapping[name] = self.program.emit(
+                    "algebra.projection", reps, gv,
+                    comment=f"group key {name}")
+            for name, agg in zip(node.agg_names, node.aggs):
+                mapping[name] = self._grouped_agg(agg, cols, gids,
+                                                  ngroups, name)
+        else:
+            for name, agg in zip(node.agg_names, node.aggs):
+                mapping[name] = self._scalar_agg(agg, cols, name)
+        return _Cols(mapping)
+
+    def _grouped_agg(self, agg: BoundAgg, cols: _Cols, gids: Var,
+                     ngroups: Var, name: str) -> Var:
+        if agg.op == "count" and agg.arg is None:
+            return self.program.emit("aggr.subcount", gids, ngroups,
+                                     comment=f"{name} := count(*)")
+        arg = self._expr(agg.arg, cols)
+        if agg.distinct:
+            return self.program.emit(
+                "aggr.subdistinct", Const(agg.op), arg, gids, ngroups,
+                comment=f"{name} := {agg.sql()}")
+        opcode = "aggr.subcountcol" if agg.op == "count" \
+            else f"aggr.sub{agg.op}"
+        return self.program.emit(
+            opcode, arg, gids, ngroups,
+            comment=f"{name} := {agg.sql()}")
+
+    def _scalar_agg(self, agg: BoundAgg, cols: _Cols, name: str) -> Var:
+        if agg.op == "count" and agg.arg is None:
+            scalar = self.program.emit("aggr.count_rows", cols.anchor(),
+                                       comment=f"{name} := count(*)")
+            return self.program.emit("bat.single", Const("INT"), scalar)
+        arg = self._expr(agg.arg, cols)
+        if agg.distinct:
+            scalar = self.program.emit("aggr.distinct_scalar",
+                                       Const(agg.op), arg,
+                                       comment=f"{name} := {agg.sql()}")
+        else:
+            scalar = self.program.emit(f"aggr.{agg.op}", arg,
+                                       comment=f"{name} := {agg.sql()}")
+        return self.program.emit("bat.single", Const(agg.dtype.name),
+                                 scalar)
+
+    # -- sort / limit / distinct ---------------------------------------------------
+
+    def _sort(self, node: SortNode) -> _Cols:
+        cols = self._node(node.child)
+        args: List = [Const(len(node.keys))]
+        for expr, desc in node.keys:
+            args.append(self._expr(expr, cols))
+            args.append(Const(bool(desc)))
+        order = self.program.emit("algebra.sortmulti", *args,
+                                  comment="order by")
+        return self._reconstruct(cols, order)
+
+    def _limit(self, node: LimitNode) -> _Cols:
+        cols = self._node(node.child)
+        cand = self.program.emit(
+            "algebra.slicecand", cols.anchor(), Const(node.offset),
+            Const(node.limit), comment="limit/offset")
+        return self._reconstruct(cols, cand)
+
+    def _distinct(self, node: DistinctNode) -> _Cols:
+        cols = self._node(node.child)
+        args = [var for _key, var in cols.items()]
+        cand = self.program.emit("algebra.distinctcand", *args,
+                                 comment="distinct")
+        return self._reconstruct(cols, cand)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def _expr(self, expr: BoundExpr, cols: _Cols) -> Var:
+        if isinstance(expr, BoundColumn):
+            return cols.var(expr.key)
+        if isinstance(expr, BoundLiteral):
+            return self.program.emit(
+                "batcalc.const", Const(expr.dtype.name),
+                Const(expr.value), cols.anchor())
+        if isinstance(expr, BoundArith):
+            op = "+" if expr.op == "||" else expr.op
+            left = expr.left
+            right = expr.right
+            lv = self._expr(left, cols)
+            rv = self._expr(right, cols)
+            if expr.op == "||" or (op == "+" and expr.dtype.is_string):
+                lv = self.program.emit("batcalc.cast", Const("STRING"), lv)
+                rv = self.program.emit("batcalc.cast", Const("STRING"), rv)
+            return self.program.emit(f"batcalc.{_ARITH_NAMES[op]}", lv, rv)
+        if isinstance(expr, BoundNeg):
+            return self.program.emit("batcalc.neg",
+                                     self._expr(expr.operand, cols))
+        if isinstance(expr, BoundCompare):
+            return self.program.emit(
+                f"batcalc.{_CMP_NAMES[expr.op]}",
+                self._expr(expr.left, cols), self._expr(expr.right, cols))
+        if isinstance(expr, BoundLogical):
+            return self.program.emit(
+                f"batcalc.{expr.op}", self._expr(expr.left, cols),
+                self._expr(expr.right, cols))
+        if isinstance(expr, BoundNot):
+            return self.program.emit("batcalc.not",
+                                     self._expr(expr.operand, cols))
+        if isinstance(expr, BoundIsNull):
+            var = self.program.emit("batcalc.isnil",
+                                    self._expr(expr.operand, cols))
+            if expr.negated:
+                var = self.program.emit("batcalc.not", var)
+            return var
+        if isinstance(expr, BoundCast):
+            return self.program.emit(
+                "batcalc.cast", Const(expr.dtype.name),
+                self._expr(expr.operand, cols))
+        if isinstance(expr, BoundFunc):
+            args = [self._expr(a, cols) for a in expr.args]
+            return self.program.emit(f"calc.{expr.name}", *args)
+        if isinstance(expr, BoundInList):
+            return self.program.emit(
+                "calc.inlist", self._expr(expr.operand, cols),
+                Const(tuple(expr.values)), Const(expr.negated))
+        if isinstance(expr, BoundLike):
+            return self.program.emit(
+                "calc.like", self._expr(expr.operand, cols),
+                Const(expr.pattern), Const(expr.negated))
+        if isinstance(expr, BoundCase):
+            args: List = [Const(expr.dtype.name), Const(len(expr.whens))]
+            for cond, value in expr.whens:
+                args.append(self._expr(cond, cols))
+                args.append(self._expr(value, cols))
+            if expr.else_ is not None:
+                args.append(self._expr(expr.else_, cols))
+            return self.program.emit("calc.case", *args)
+        if isinstance(expr, BoundAgg):
+            raise MALError("aggregate outside Aggregate node")
+        raise MALError(f"cannot compile expression {expr!r}")
+
+
+def compile_plan(plan: PlanNode, name: str = "user.s0") -> MALProgram:
+    """Convenience wrapper around :class:`MALCompiler`."""
+    return MALCompiler().compile(plan, name)

@@ -1,0 +1,152 @@
+"""In-flight columnar relations: the value flowing between plan operators.
+
+A :class:`Relation` is an ordered set of equally long named BATs — the
+columnar equivalent of an operator's output table. Query results are
+Relations; so are the intermediates the DataCell incremental engine
+caches between window slides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.mal.bat import BAT
+from repro.storage.schema import ColumnDef, Schema
+
+
+class Relation:
+    """An ordered mapping of column name -> BAT with uniform length."""
+
+    def __init__(self, columns: "Sequence[Tuple[str, BAT]]" = ()):
+        self._names: List[str] = []
+        self._bats: Dict[str, BAT] = {}
+        for name, bat in columns:
+            self.add(name, bat)
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Sequence[Sequence[Any]]
+                  ) -> "Relation":
+        """Build a relation from Python row tuples (values coerced)."""
+        cols = list(zip(*rows)) if rows else [[] for _ in schema.columns]
+        rel = cls()
+        for coldef, values in zip(schema.columns, cols):
+            rel.add(coldef.name,
+                    BAT.from_values(coldef.dtype, values, coerce=True))
+        return rel
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Relation":
+        return cls((c.name, BAT(c.dtype)) for c in schema.columns)
+
+    def add(self, name: str, bat: BAT) -> None:
+        name = name.lower()
+        if name in self._bats:
+            raise KernelError(f"duplicate column {name!r} in relation")
+        if self._names and len(bat) != self.row_count:
+            raise KernelError(
+                f"column {name!r} has {len(bat)} rows, expected "
+                f"{self.row_count}")
+        self._names.append(name)
+        self._bats[name] = bat
+
+    # -- accessors ----------------------------------------------------
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._names)
+
+    @property
+    def row_count(self) -> int:
+        if not self._names:
+            return 0
+        return len(self._bats[self._names[0]])
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._bats
+
+    def column(self, name: str) -> BAT:
+        try:
+            return self._bats[name.lower()]
+        except KeyError:
+            raise KernelError(f"no column {name!r} in relation "
+                              f"{self._names}") from None
+
+    def columns(self) -> Iterator[Tuple[str, BAT]]:
+        for name in self._names:
+            yield name, self._bats[name]
+
+    def schema(self) -> Schema:
+        return Schema(ColumnDef(n, self._bats[n].dtype)
+                      for n in self._names)
+
+    # -- derivation ---------------------------------------------------
+
+    def take(self, positions: np.ndarray) -> "Relation":
+        """Gather rows at *positions* into a new relation."""
+        return Relation((n, b.take(positions)) for n, b in self.columns())
+
+    def select_columns(self, names: Sequence[str]) -> "Relation":
+        return Relation((n, self.column(n)) for n in names)
+
+    def renamed(self, names: Sequence[str]) -> "Relation":
+        if len(names) != len(self._names):
+            raise KernelError("renamed: wrong number of names")
+        return Relation((new, self._bats[old])
+                        for new, old in zip(names, self._names))
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Row-wise concatenation (UNION ALL of compatible relations)."""
+        if other.names != self.names:
+            raise KernelError("concat: column names differ")
+        out = Relation()
+        for name, bat in self.columns():
+            merged = bat.copy()
+            merged.append_bat(other.column(name))
+            out.add(name, merged)
+        return out
+
+    def slice_rows(self, start: int, stop: Optional[int] = None
+                   ) -> "Relation":
+        return Relation((n, b.slice(start, stop)) for n, b in self.columns())
+
+    # -- conversion ---------------------------------------------------
+
+    def to_rows(self) -> List[Tuple[Any, ...]]:
+        """Materialize as Python row tuples (nil -> None)."""
+        cols = [self._bats[n].tolist() for n in self._names]
+        return list(zip(*cols)) if cols else []
+
+    def to_dict(self) -> Dict[str, List[Any]]:
+        return {n: self._bats[n].tolist() for n in self._names}
+
+    def row(self, i: int) -> Tuple[Any, ...]:
+        return tuple(self._bats[n].get(i) for n in self._names)
+
+    def pretty(self, limit: int = 20) -> str:
+        """Fixed-width textual rendering (the demo's result pane)."""
+        rows = self.to_rows()[:limit]
+        headers = self._names
+        cells = [[("NULL" if v is None else str(v)) for v in row]
+                 for row in rows]
+        widths = [max([len(h)] + [len(r[i]) for r in cells])
+                  for i, h in enumerate(headers)]
+        sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+        out = [sep,
+               "|" + "|".join(f" {h:<{w}} " for h, w in zip(headers, widths))
+               + "|", sep]
+        for row in cells:
+            out.append("|" + "|".join(
+                f" {c:<{w}} " for c, w in zip(row, widths)) + "|")
+        out.append(sep)
+        if self.row_count > limit:
+            out.append(f"... {self.row_count - limit} more rows")
+        return "\n".join(out)
+
+    def __repr__(self) -> str:
+        return f"Relation({self._names}, rows={self.row_count})"

@@ -1,0 +1,292 @@
+"""Scalar and aggregate function registry for the SQL layer.
+
+Scalar functions are vectorized: each implementation receives BATs (and
+is responsible for nil propagation) and returns a BAT. The binder
+resolves names and argument types here, so adding a function is one
+:func:`register` call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import BindError, KernelError
+from repro.mal import kernel
+from repro.mal.bat import BAT
+from repro.storage import types as dt
+
+
+class FunctionDef:
+    """A scalar function: type rule + vectorized implementation."""
+
+    def __init__(self, name: str, min_args: int, max_args: int,
+                 result_type: Callable[[List[dt.DataType]], dt.DataType],
+                 impl: Callable[..., BAT]):
+        self.name = name
+        self.min_args = min_args
+        self.max_args = max_args
+        self.result_type = result_type
+        self.impl = impl
+
+    def check_arity(self, n: int) -> None:
+        if not (self.min_args <= n <= self.max_args):
+            raise BindError(
+                f"{self.name}: expected between {self.min_args} and "
+                f"{self.max_args} arguments, got {n}")
+
+
+_SCALAR: Dict[str, FunctionDef] = {}
+
+AGGREGATES = frozenset(["count", "sum", "avg", "min", "max",
+                        "stddev", "variance"])
+
+
+def register(name: str, min_args: int, max_args: int, result_type,
+             impl) -> None:
+    """Register a scalar function under *name* (lower-cased)."""
+    _SCALAR[name.lower()] = FunctionDef(name.lower(), min_args, max_args,
+                                        result_type, impl)
+
+
+def lookup(name: str) -> FunctionDef:
+    try:
+        return _SCALAR[name.lower()]
+    except KeyError:
+        raise BindError(f"unknown function {name!r}") from None
+
+
+def is_aggregate(name: str) -> bool:
+    return name.lower() in AGGREGATES
+
+
+def is_scalar(name: str) -> bool:
+    return name.lower() in _SCALAR
+
+
+def aggregate_result_type(op: str, arg_type: Optional[dt.DataType]
+                          ) -> dt.DataType:
+    """Type rule for the five standard aggregates."""
+    op = op.lower()
+    if op == "count":
+        return dt.INT
+    if arg_type is None:
+        raise BindError(f"{op} requires an argument")
+    if op in ("avg", "stddev", "variance"):
+        if not arg_type.is_numeric:
+            raise BindError(
+                f"{op} over non-numeric type {arg_type.name}")
+        return dt.FLOAT
+    if op == "sum":
+        if not arg_type.is_numeric:
+            raise BindError(f"sum over non-numeric type {arg_type.name}")
+        return arg_type
+    if op in ("min", "max"):
+        return arg_type
+    raise BindError(f"unknown aggregate {op!r}")
+
+
+# ---------------------------------------------------------------------
+# implementation helpers
+# ---------------------------------------------------------------------
+
+def _numeric_unary(fn, out_float: bool = True):
+    """Lift a float->float numpy ufunc into a nil-propagating column op."""
+
+    def impl(a: BAT) -> BAT:
+        if not a.dtype.is_numeric:
+            raise KernelError("numeric function over non-numeric column")
+        mask = a.nil_mask()
+        vals = a.values.astype(np.float64).copy()
+        vals[mask] = 0.0
+        with np.errstate(invalid="ignore", divide="ignore"):
+            res = fn(vals)
+        res = np.asarray(res, dtype=np.float64)
+        bad = ~np.isfinite(res)
+        if out_float:
+            res[mask | bad] = np.nan
+            return BAT.from_array(dt.FLOAT, res)
+        out = np.where(mask | bad, 0, res).astype(np.int64)
+        out[mask | bad] = dt.INT_NIL
+        return BAT.from_array(dt.INT, out)
+
+    return impl
+
+
+def _string_unary(fn, out_type: dt.DataType):
+    def impl(a: BAT) -> BAT:
+        if not a.dtype.is_string:
+            raise KernelError("string function over non-string column")
+        if out_type.is_string:
+            out = [None if v is None else fn(v) for v in a.values]
+            return BAT.from_values(dt.STRING, out)
+        out = [dt.INT_NIL if v is None else fn(v) for v in a.values]
+        return BAT.from_array(dt.INT, np.asarray(out, dtype=np.int64))
+
+    return impl
+
+
+def _first_numeric(types: List[dt.DataType]) -> dt.DataType:
+    if not types[0].is_numeric:
+        raise BindError(f"expected numeric argument, got {types[0].name}")
+    return types[0]
+
+
+def _always(t: dt.DataType):
+    return lambda types: t
+
+
+# abs keeps the argument type; everything below that returns FLOAT
+register("abs", 1, 1, _first_numeric, lambda a: _abs_impl(a))
+register("sqrt", 1, 1, _always(dt.FLOAT), _numeric_unary(np.sqrt))
+register("exp", 1, 1, _always(dt.FLOAT), _numeric_unary(np.exp))
+register("ln", 1, 1, _always(dt.FLOAT), _numeric_unary(np.log))
+register("log", 1, 1, _always(dt.FLOAT), _numeric_unary(np.log10))
+register("floor", 1, 1, _always(dt.INT),
+         _numeric_unary(np.floor, out_float=False))
+register("ceil", 1, 1, _always(dt.INT),
+         _numeric_unary(np.ceil, out_float=False))
+register("ceiling", 1, 1, _always(dt.INT),
+         _numeric_unary(np.ceil, out_float=False))
+register("sign", 1, 1, _always(dt.INT),
+         _numeric_unary(np.sign, out_float=False))
+
+
+def _abs_impl(a: BAT) -> BAT:
+    mask = a.nil_mask()
+    if a.dtype is dt.FLOAT:
+        return BAT.from_array(dt.FLOAT, np.abs(a.values))
+    if a.dtype is dt.INT:
+        out = np.abs(np.where(mask, 0, a.values)).astype(np.int64)
+        out[mask] = dt.INT_NIL
+        return BAT.from_array(dt.INT, out)
+    raise KernelError("abs over non-numeric column")
+
+
+def _round_impl(a: BAT, digits: Optional[BAT] = None) -> BAT:
+    if not a.dtype.is_numeric:
+        raise KernelError("round over non-numeric column")
+    nd = 0
+    if digits is not None:
+        if len(digits) == 0:
+            nd = 0
+        else:
+            d = digits.get(0)
+            nd = 0 if d is None else int(d)
+    mask = a.nil_mask()
+    vals = a.values.astype(np.float64).copy()
+    vals[mask] = 0.0
+    res = np.round(vals, nd)
+    res[mask] = np.nan
+    return BAT.from_array(dt.FLOAT, res)
+
+
+register("round", 1, 2, _always(dt.FLOAT), _round_impl)
+
+register("length", 1, 1, _always(dt.INT), _string_unary(len, dt.INT))
+register("lower", 1, 1, _always(dt.STRING),
+         _string_unary(str.lower, dt.STRING))
+register("upper", 1, 1, _always(dt.STRING),
+         _string_unary(str.upper, dt.STRING))
+register("trim", 1, 1, _always(dt.STRING),
+         _string_unary(str.strip, dt.STRING))
+
+
+def _substr_impl(s: BAT, start: BAT, length: Optional[BAT] = None) -> BAT:
+    """SQL SUBSTR: 1-based start, optional length."""
+    if not s.dtype.is_string:
+        raise KernelError("substr over non-string column")
+    starts = start.values
+    lens = length.values if length is not None else None
+    out = []
+    for i, v in enumerate(s.values):
+        if v is None or dt.is_nil(dt.INT, starts[i]):
+            out.append(None)
+            continue
+        begin = max(int(starts[i]) - 1, 0)
+        if lens is None:
+            out.append(v[begin:])
+        elif dt.is_nil(dt.INT, lens[i]):
+            out.append(None)
+        else:
+            out.append(v[begin:begin + int(lens[i])])
+    return BAT.from_values(dt.STRING, out)
+
+
+register("substr", 2, 3, _always(dt.STRING), _substr_impl)
+register("substring", 2, 3, _always(dt.STRING), _substr_impl)
+
+
+def _concat_type(types: List[dt.DataType]) -> dt.DataType:
+    return dt.STRING
+
+
+def _concat_impl(*args: BAT) -> BAT:
+    out = None
+    for arg in args:
+        rendered = kernel.calc_cast(arg, dt.STRING)
+        out = rendered if out is None else kernel.calc_arith("+", out,
+                                                             rendered)
+    return out
+
+
+register("concat", 1, 8, _concat_type, _concat_impl)
+
+
+def _coalesce_type(types: List[dt.DataType]) -> dt.DataType:
+    out = types[0]
+    for t in types[1:]:
+        out = out if out == t else dt.common_type(out, t)
+    return out
+
+
+def _coalesce_impl(*args: BAT) -> BAT:
+    out = args[0].copy()
+    for arg in args[1:]:
+        mask = out.nil_mask()
+        if not mask.any():
+            break
+        take = arg
+        if take.dtype != out.dtype:
+            take = kernel.calc_cast(take, out.dtype)
+        values = out.values
+        values[mask] = take.values[mask]
+    return out
+
+
+register("coalesce", 2, 8, _coalesce_type, _coalesce_impl)
+
+
+def _nullif_impl(a: BAT, b: BAT) -> BAT:
+    eq = kernel.calc_cmp("==", a, b)
+    out = a.copy()
+    hit = eq.values == 1
+    values = out.values
+    if out.dtype.is_string:
+        for i in np.nonzero(hit)[0]:
+            values[i] = None
+    else:
+        values[hit] = out.dtype.nil
+    return out
+
+
+register("nullif", 2, 2, lambda types: types[0], _nullif_impl)
+
+
+def _power_impl(a: BAT, b: BAT) -> BAT:
+    amask = a.nil_mask()
+    bmask = b.nil_mask()
+    av = a.values.astype(np.float64).copy()
+    bv = b.values.astype(np.float64).copy()
+    av[amask] = 0.0
+    bv[bmask] = 0.0
+    with np.errstate(invalid="ignore", over="ignore"):
+        res = np.power(av, bv)
+    res[amask | bmask | ~np.isfinite(res)] = np.nan
+    return BAT.from_array(dt.FLOAT, res)
+
+
+register("power", 2, 2, _always(dt.FLOAT), _power_impl)
+register("mod", 2, 2, lambda types: dt.common_type(types[0], types[1]),
+         lambda a, b: kernel.calc_arith("%", a, b))

@@ -1,0 +1,154 @@
+"""SQL tokenizer.
+
+Hand-written scanner producing a flat token list. Keywords are
+case-insensitive; identifiers are lower-cased (MonetDB folds unquoted
+identifiers to lower case). String literals use single quotes with ``''``
+escaping; ``--`` starts a line comment and ``/* */`` a block comment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LexerError
+
+KEYWORDS = frozenset("""
+    select from where group by having order asc desc limit offset distinct
+    and or not in is null like between as join inner left on cross
+    create table stream drop insert into values index using
+    range slide seconds tuples case when then else end cast
+    true false count sum avg min max continuous query
+    outer union all delete update set explain
+""".split())
+
+# multi-character operators first so the scanner is greedy
+_OPERATORS = ("<>", "<=", ">=", "!=", "||", "=", "<", ">", "+", "-", "*",
+              "/", "%")
+_PUNCT = "(),.;[]"
+
+
+class Token:
+    """One lexical token: ``kind`` in IDENT/KEYWORD/NUMBER/STRING/OP/PUNCT/EOF."""
+
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind: str, value, pos: int):
+        self.kind = kind
+        self.value = value
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, @{self.pos})"
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "KEYWORD" and self.value == word
+
+    def matches(self, kind: str, value=None) -> bool:
+        return self.kind == kind and (value is None or self.value == value)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Scan *text* into tokens ending with one EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            nl = text.find("\n", i)
+            i = n if nl < 0 else nl + 1
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise LexerError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch == "'":
+            value, i = _scan_string(text, i)
+            tokens.append(Token("STRING", value, i))
+            continue
+        if ch == '"':
+            end = text.find('"', i + 1)
+            if end < 0:
+                raise LexerError("unterminated quoted identifier", i)
+            tokens.append(Token("IDENT", text[i + 1:end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            value, i = _scan_number(text, i)
+            tokens.append(Token("NUMBER", value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i].lower()
+            if word in KEYWORDS:
+                tokens.append(Token("KEYWORD", word, start))
+            else:
+                tokens.append(Token("IDENT", word, start))
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token("PUNCT", ch, i))
+            i += 1
+            continue
+        raise LexerError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("EOF", None, n))
+    return tokens
+
+
+def _scan_string(text: str, i: int):
+    out = []
+    i += 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise LexerError("unterminated string literal", i)
+
+
+def _scan_number(text: str, i: int):
+    start = i
+    n = len(text)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = text[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            seen_exp = True
+            i += 1
+            if i < n and text[i] in "+-":
+                i += 1
+        else:
+            break
+    raw = text[start:i]
+    try:
+        value = float(raw) if (seen_dot or seen_exp) else int(raw)
+    except ValueError:
+        raise LexerError(f"bad numeric literal {raw!r}", start) from None
+    return value, i

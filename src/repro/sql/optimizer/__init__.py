@@ -1,0 +1,9 @@
+"""Rule-based logical optimizer (the reproduction of MonetDB's
+optimizer stack that DataCell reuses unchanged for continuous queries)."""
+
+from repro.sql.optimizer.rules import (DEFAULT_RULES, Optimizer,
+                                       extract_join_keys, fold_constants,
+                                       prune_columns, push_down_filters)
+
+__all__ = ["Optimizer", "DEFAULT_RULES", "fold_constants",
+           "push_down_filters", "extract_join_keys", "prune_columns"]

@@ -1,0 +1,259 @@
+"""Optimizer rewrite rules over logical plans.
+
+Each rule is a pure function ``plan -> plan``. The default pipeline:
+
+1. ``fold_constants`` — evaluate constant expression subtrees.
+2. ``push_down_filters`` — move WHERE conjuncts below joins, onto the
+   side that produces their columns.
+3. ``extract_join_keys`` — turn cross products with equality residuals
+   into hash equi-joins.
+4. ``prune_columns`` — tell scans which columns are actually needed.
+
+The paper's point is that this very stack keeps working for continuous
+queries: the DataCell rewriter runs *after* these rules, so streams get
+the same optimizations as tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Set
+
+from repro.errors import BindError
+from repro.sql.expressions import (BoundColumn, BoundCompare, BoundExpr,
+                                   BoundLiteral, contains_aggregate,
+                                   replace_nodes)
+from repro.sql.plan import (AggregateNode, DistinctNode, FilterNode,
+                            JoinNode, LimitNode, PlanNode, ProjectNode,
+                            ScanNode, SortNode, StreamScanNode, walk_plan)
+from repro.sql.planner import join_conjuncts, split_conjuncts
+
+Rule = Callable[[PlanNode], PlanNode]
+
+
+# ---------------------------------------------------------------------
+# constant folding
+# ---------------------------------------------------------------------
+
+def fold_expr(expr: BoundExpr) -> BoundExpr:
+    """Replace constant subtrees with literals (conservatively)."""
+
+    def mapper(node: BoundExpr):
+        if isinstance(node, BoundLiteral) or isinstance(node, BoundColumn):
+            return None
+        if contains_aggregate(node):
+            return None
+        try:
+            value = node.const_value()
+        except (BindError, NotImplementedError):
+            return None
+        return BoundLiteral(value, node.dtype)
+
+    return replace_nodes(expr, mapper)
+
+
+def fold_constants(plan: PlanNode) -> PlanNode:
+    for node in walk_plan(plan):
+        if isinstance(node, FilterNode):
+            node.predicate = fold_expr(node.predicate)
+        elif isinstance(node, ProjectNode):
+            node.exprs = [fold_expr(e) for e in node.exprs]
+        elif isinstance(node, JoinNode):
+            if node.residual is not None:
+                node.residual = fold_expr(node.residual)
+        elif isinstance(node, SortNode):
+            node.keys = [(fold_expr(e), d) for e, d in node.keys]
+        elif isinstance(node, AggregateNode):
+            node.group_exprs = [fold_expr(e) for e in node.group_exprs]
+    return plan
+
+
+# ---------------------------------------------------------------------
+# filter pushdown
+# ---------------------------------------------------------------------
+
+def _fits(expr: BoundExpr, node: PlanNode) -> bool:
+    """True when *node* produces every column *expr* references."""
+    available = set(node.schema.names)
+    keys = expr.column_keys()
+    return bool(keys) and all(k in available for k in keys)
+
+
+def _push_conjunct(node: PlanNode, conj: BoundExpr) -> Optional[PlanNode]:
+    """Try to sink one conjunct below *node*; None when it must stay."""
+    if isinstance(node, JoinNode):
+        if _fits(conj, node.left):
+            pushed = _push_conjunct(node.left, conj)
+            node.replace_children(
+                [pushed if pushed is not None
+                 else FilterNode(node.left, conj), node.right])
+            return node
+        if node.join_type == "left":
+            # filtering the right input of a LEFT JOIN is not
+            # equivalent (it turns removals into nil-padding); the
+            # conjunct must stay above the join
+            return None
+        if _fits(conj, node.right):
+            pushed = _push_conjunct(node.right, conj)
+            node.replace_children(
+                [node.left, pushed if pushed is not None
+                 else FilterNode(node.right, conj)])
+            return node
+        # touches both sides: merge into the join residual
+        node.residual = conj if node.residual is None \
+            else join_conjuncts([node.residual, conj])
+        return node
+    if isinstance(node, FilterNode):
+        pushed = _push_conjunct(node.child, conj)
+        if pushed is not None:
+            node.replace_children([pushed])
+            return node
+        node.predicate = join_conjuncts([node.predicate, conj])
+        return node
+    if isinstance(node, (ScanNode, StreamScanNode)):
+        return None  # caller wraps in a Filter just above the scan
+    return None
+
+
+def push_down_filters(plan: PlanNode) -> PlanNode:
+    """Push Filter-above-Join conjuncts toward the scans."""
+
+    def rewrite(node: PlanNode) -> PlanNode:
+        node.replace_children([rewrite(c) for c in node.children])
+        if not isinstance(node, FilterNode):
+            return node
+        child = node.child
+        if not isinstance(child, JoinNode):
+            return node
+        keep: List[BoundExpr] = []
+        for conj in split_conjuncts(node.predicate):
+            if _push_conjunct(child, conj) is None:
+                keep.append(conj)
+        remaining = join_conjuncts(keep)
+        if remaining is None:
+            return child
+        node.predicate = remaining
+        return node
+
+    return rewrite(plan)
+
+
+# ---------------------------------------------------------------------
+# join-key extraction
+# ---------------------------------------------------------------------
+
+def _try_promote(join: JoinNode) -> None:
+    """Promote an equality residual conjunct to the hash-join key."""
+    if join.left_key is not None or join.residual is None \
+            or join.join_type != "inner":
+        return
+    conjuncts = split_conjuncts(join.residual)
+    for i, conj in enumerate(conjuncts):
+        if not (isinstance(conj, BoundCompare) and conj.op == "=="):
+            continue
+        if _fits(conj.left, join.left) and _fits(conj.right, join.right):
+            join.left_key, join.right_key = conj.left, conj.right
+        elif _fits(conj.right, join.left) and _fits(conj.left, join.right):
+            join.left_key, join.right_key = conj.right, conj.left
+        else:
+            continue
+        join.residual = join_conjuncts(conjuncts[:i] + conjuncts[i + 1:])
+        return
+
+
+def extract_join_keys(plan: PlanNode) -> PlanNode:
+    for node in walk_plan(plan):
+        if isinstance(node, JoinNode):
+            _try_promote(node)
+    return plan
+
+
+# ---------------------------------------------------------------------
+# column pruning
+# ---------------------------------------------------------------------
+
+def _expr_keys(exprs: Sequence[BoundExpr]) -> Set[str]:
+    keys: Set[str] = set()
+    for expr in exprs:
+        keys.update(expr.column_keys())
+    return keys
+
+
+def prune_columns(plan: PlanNode) -> PlanNode:
+    """Mark scans with the set of columns the plan above actually uses."""
+
+    def visit(node: PlanNode, needed: Optional[Set[str]]) -> None:
+        if isinstance(node, (ScanNode, StreamScanNode)):
+            if needed is None:
+                node.needed = None
+            else:
+                node.needed = [n for n in node.schema.names if n in needed]
+                if not node.needed:
+                    # keep one column as the row-count anchor (e.g.
+                    # SELECT 42 FROM t, or the unused side of a cross
+                    # product)
+                    node.needed = [node.schema.names[0]]
+            return
+        if isinstance(node, ProjectNode):
+            visit(node.child, _expr_keys(node.exprs))
+            return
+        if isinstance(node, FilterNode):
+            below = None if needed is None else \
+                needed | _expr_keys([node.predicate])
+            visit(node.child, below)
+            return
+        if isinstance(node, JoinNode):
+            below = needed
+            if below is not None:
+                extra: List[BoundExpr] = []
+                if node.left_key is not None:
+                    extra.extend([node.left_key, node.right_key])
+                if node.residual is not None:
+                    extra.append(node.residual)
+                below = below | _expr_keys(extra)
+            visit(node.left, below)
+            visit(node.right, below)
+            return
+        if isinstance(node, AggregateNode):
+            exprs = list(node.group_exprs)
+            exprs.extend(a.arg for a in node.aggs if a.arg is not None)
+            visit(node.child, _expr_keys(exprs))
+            return
+        if isinstance(node, SortNode):
+            below = None if needed is None else \
+                needed | _expr_keys([e for e, _d in node.keys])
+            visit(node.child, below)
+            return
+        if isinstance(node, (LimitNode, DistinctNode)):
+            visit(node.children[0], needed)
+            return
+        # UnionNode children are complete Project subtrees that compute
+        # their own requirements; anything unknown keeps everything
+        for child in node.children:
+            visit(child, None)
+
+    visit(plan, None)
+    return plan
+
+
+DEFAULT_RULES: List[Rule] = [
+    fold_constants,
+    push_down_filters,
+    extract_join_keys,
+    prune_columns,
+]
+
+
+class Optimizer:
+    """Applies a rule pipeline to a plan; records rule applications."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+        self.rules = list(rules) if rules is not None else \
+            list(DEFAULT_RULES)
+        self.applied: List[str] = []
+
+    def optimize(self, plan: PlanNode) -> PlanNode:
+        self.applied = []
+        for rule in self.rules:
+            plan = rule(plan)
+            self.applied.append(rule.__name__)
+        return plan

@@ -1,0 +1,398 @@
+"""AST -> logical plan translation.
+
+Produces canonical plans: scans joined left-deep, one Filter for WHERE,
+Aggregate when needed, Sort below the final Project, Distinct and Limit
+on top. The optimizer then cleans up (pushdown, pruning, join-condition
+extraction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import BindError, CatalogError
+from repro.sql import ast
+from repro.sql.binder import Binder, Scope
+from repro.sql.expressions import (BoundAgg, BoundColumn, BoundCompare,
+                                   BoundExpr, BoundLogical,
+                                   collect_aggregates, contains_aggregate,
+                                   replace_nodes)
+from repro.sql.plan import (AggregateNode, DistinctNode, FilterNode,
+                            JoinNode, LimitNode, PlanNode, ProjectNode,
+                            ScanNode, SortNode, StreamScanNode)
+from repro.storage.catalog import Catalog
+
+
+def split_conjuncts(pred: BoundExpr) -> List[BoundExpr]:
+    """Flatten a predicate into its AND-ed conjuncts."""
+    if isinstance(pred, BoundLogical) and pred.op == "and":
+        return split_conjuncts(pred.left) + split_conjuncts(pred.right)
+    return [pred]
+
+
+def join_conjuncts(conjuncts: Sequence[BoundExpr]) -> Optional[BoundExpr]:
+    """Re-assemble conjuncts into one AND tree (None when empty)."""
+    out: Optional[BoundExpr] = None
+    for conj in conjuncts:
+        out = conj if out is None else BoundLogical("and", out, conj)
+    return out
+
+
+def keys_within(expr: BoundExpr, aliases: Sequence[str]) -> bool:
+    """True when every column the expression touches belongs to *aliases*."""
+    prefixes = tuple(a + "." for a in aliases)
+    keys = expr.column_keys()
+    return all(k.startswith(prefixes) for k in keys) and bool(keys)
+
+
+class Planner:
+    """Translates bound SELECT statements into logical plans."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # -- entry point --------------------------------------------------
+
+    def plan_select(self, stmt: ast.SelectStmt) -> PlanNode:
+        scope = Scope()
+        scans: List[PlanNode] = []
+        for item in stmt.from_items:
+            scan = self._scan_for(item.ref)
+            scans.append(scan)
+            schema = self.catalog.schema_of(item.ref.name)
+            scope.add_source(item.ref.alias, schema)
+
+        node = self._join_tree(stmt, scans, scope)
+
+        where_binder = Binder(scope, allow_aggregates=False)
+        if stmt.where is not None:
+            plain, subqueries = self._split_subquery_conjuncts(stmt.where)
+            for sub in subqueries:
+                node = self._plan_in_subquery(node, sub, where_binder)
+            if plain is not None:
+                node = FilterNode(node, where_binder.bind(plain))
+
+        select_binder = Binder(scope, allow_aggregates=True)
+        items = self._expand_star(stmt.items, scope)
+        bound_items = [(select_binder.bind(i.expr), i.alias) for i in items]
+        group_exprs = [where_binder.bind(g) for g in stmt.group_by]
+        having = select_binder.bind(stmt.having) \
+            if stmt.having is not None else None
+        order_keys = self._bind_order(stmt.order_by, select_binder,
+                                      bound_items, items)
+
+        needs_agg = (bool(group_exprs) or having is not None
+                     or any(contains_aggregate(e) for e, _a in bound_items)
+                     or any(contains_aggregate(e) for e, _d in order_keys))
+        if needs_agg:
+            node, bound_items, having, order_keys = self._aggregate(
+                node, bound_items, group_exprs, having, order_keys)
+        elif having is not None:
+            raise BindError("HAVING without GROUP BY or aggregates")
+
+        if having is not None:
+            node = FilterNode(node, having)
+        if order_keys:
+            node = SortNode(node, order_keys)
+
+        names = self._output_names(bound_items, items)
+        node = ProjectNode(node, [e for e, _a in bound_items], names)
+        if stmt.distinct:
+            node = DistinctNode(node)
+        if stmt.limit is not None or stmt.offset:
+            node = LimitNode(node, stmt.offset, stmt.limit)
+        return node
+
+    def plan_union(self, stmt: ast.UnionStmt) -> PlanNode:
+        """Plan a UNION [ALL] compound: align branch schemas to the
+        first branch's names (coercing INT branches to FLOAT where
+        needed), concat, optional dedup/sort/limit on top."""
+        from repro.sql.expressions import BoundCast, BoundColumn
+        from repro.sql.plan import DistinctNode, LimitNode, ProjectNode, \
+            SortNode, UnionNode
+        from repro.storage import types as dt
+
+        branches = [self.plan_select(s) for s in stmt.selects]
+        first = branches[0].schema
+        aligned = [branches[0]]
+        for branch in branches[1:]:
+            schema = branch.schema
+            if len(schema) != len(first):
+                raise BindError(
+                    f"UNION branches have {len(first)} vs "
+                    f"{len(schema)} columns")
+            exprs = []
+            for target, col in zip(first.columns, schema.columns):
+                expr: "BoundExpr" = BoundColumn(col.name, col.dtype)
+                if col.dtype != target.dtype:
+                    dt.common_type(col.dtype, target.dtype)  # validates
+                    expr = BoundCast(expr, target.dtype)
+                exprs.append(expr)
+            aligned.append(ProjectNode(branch, exprs, first.names))
+        node: PlanNode = UnionNode(aligned)
+        if stmt.distinct:
+            node = DistinctNode(node)
+        if stmt.order_by:
+            scope = Scope()
+            for col in first.columns:
+                scope.add_column(col.name, col.dtype)
+            binder = Binder(scope)
+            keys = []
+            for order in stmt.order_by:
+                if isinstance(order.expr, ast.Literal) \
+                        and isinstance(order.expr.value, int):
+                    index = order.expr.value - 1
+                    if not 0 <= index < len(first.columns):
+                        raise BindError(
+                            f"ORDER BY position {order.expr.value} "
+                            f"out of range")
+                    col = first.columns[index]
+                    keys.append((BoundColumn(col.name, col.dtype),
+                                 order.descending))
+                else:
+                    keys.append((binder.bind(order.expr),
+                                 order.descending))
+            node = SortNode(node, keys)
+        if stmt.limit is not None or stmt.offset:
+            node = LimitNode(node, stmt.offset, stmt.limit)
+        return node
+
+    def plan(self, stmt) -> PlanNode:
+        """Plan a SELECT or UNION statement."""
+        if isinstance(stmt, ast.UnionStmt):
+            return self.plan_union(stmt)
+        return self.plan_select(stmt)
+
+    # -- FROM clause ----------------------------------------------------
+
+    def _scan_for(self, ref: ast.TableRef) -> PlanNode:
+        if self.catalog.is_stream(ref.name):
+            return StreamScanNode(ref.name, ref.alias,
+                                  self.catalog.stream(ref.name).schema,
+                                  ref.window)
+        if ref.window is not None:
+            raise BindError(
+                f"window clause on persistent table {ref.name!r}")
+        if not self.catalog.has_table(ref.name):
+            raise CatalogError(f"no table or stream {ref.name!r}")
+        return ScanNode(ref.name, ref.alias,
+                        self.catalog.table(ref.name).schema)
+
+    def _join_tree(self, stmt: ast.SelectStmt, scans: List[PlanNode],
+                   scope: Scope) -> PlanNode:
+        node = scans[0]
+        seen_aliases = [stmt.from_items[0].ref.alias]
+        binder = Binder(scope, allow_aggregates=False)
+        for item, scan in zip(stmt.from_items[1:], scans[1:]):
+            alias = item.ref.alias
+            if item.join_cond is not None:
+                cond = binder.bind(item.join_cond)
+                lk, rk, residual = self._extract_equi_key(
+                    cond, seen_aliases, [alias])
+                if item.join_type == "left":
+                    if lk is None:
+                        raise BindError(
+                            "LEFT JOIN requires an equality condition "
+                            "between the two sides")
+                    if residual is not None:
+                        raise BindError(
+                            "LEFT JOIN supports a single equality ON "
+                            "condition (move extra predicates to WHERE)")
+                node = JoinNode(node, scan, lk, rk, residual,
+                                join_type=item.join_type)
+            else:
+                node = JoinNode(node, scan, None, None, None)
+            seen_aliases.append(alias)
+        return node
+
+    @staticmethod
+    def _extract_equi_key(cond: BoundExpr, left_aliases: Sequence[str],
+                          right_aliases: Sequence[str]
+                          ) -> Tuple[Optional[BoundExpr],
+                                     Optional[BoundExpr],
+                                     Optional[BoundExpr]]:
+        """Pick one ``left = right`` conjunct as the hash-join key."""
+        conjuncts = split_conjuncts(cond)
+        key_pair = None
+        rest: List[BoundExpr] = []
+        for conj in conjuncts:
+            if (key_pair is None and isinstance(conj, BoundCompare)
+                    and conj.op == "=="):
+                if keys_within(conj.left, left_aliases) \
+                        and keys_within(conj.right, right_aliases):
+                    key_pair = (conj.left, conj.right)
+                    continue
+                if keys_within(conj.right, left_aliases) \
+                        and keys_within(conj.left, right_aliases):
+                    key_pair = (conj.right, conj.left)
+                    continue
+            rest.append(conj)
+        if key_pair is None:
+            return None, None, cond
+        return key_pair[0], key_pair[1], join_conjuncts(rest)
+
+    # -- IN (SELECT ...) subqueries --------------------------------------
+
+    @staticmethod
+    def _split_subquery_conjuncts(where: ast.Expr):
+        """Separate top-level ``[NOT] IN (SELECT...)`` conjuncts from
+        the rest of the WHERE expression."""
+        subqueries: List[ast.InSubquery] = []
+
+        def walk(expr: ast.Expr) -> Optional[ast.Expr]:
+            if isinstance(expr, ast.BinaryOp) and expr.op == "and":
+                left = walk(expr.left)
+                right = walk(expr.right)
+                if left is None:
+                    return right
+                if right is None:
+                    return left
+                return ast.BinaryOp("and", left, right)
+            if isinstance(expr, ast.InSubquery):
+                subqueries.append(expr)
+                return None
+            return expr
+
+        return walk(where), subqueries
+
+    def _plan_in_subquery(self, node: PlanNode, sub: ast.InSubquery,
+                          binder: Binder) -> JoinNode:
+        """Rewrite one IN-subquery conjunct as a semi (or anti) join."""
+        subplan = self.plan_select(sub.select)
+        if len(subplan.schema) != 1:
+            raise BindError(
+                "IN (SELECT ...) requires a single-column subquery, "
+                f"got {len(subplan.schema)} columns")
+        operand = binder.bind(sub.operand)
+        sub_col = subplan.schema.columns[0]
+        if operand.dtype.is_string != sub_col.dtype.is_string:
+            raise BindError(
+                f"cannot compare {operand.dtype.name} with subquery "
+                f"column of type {sub_col.dtype.name}")
+        right_key = BoundColumn(sub_col.name, sub_col.dtype)
+        return JoinNode(node, subplan, operand, right_key, None,
+                        join_type="anti" if sub.negated else "semi")
+
+    # -- SELECT list ------------------------------------------------------
+
+    def _expand_star(self, items: Sequence[ast.SelectItem], scope: Scope
+                     ) -> List[ast.SelectItem]:
+        out: List[ast.SelectItem] = []
+        for item in items:
+            if isinstance(item.expr, ast.Star):
+                for key, _dtype in scope.columns():
+                    alias_part, _dot, bare = key.partition(".")
+                    out.append(ast.SelectItem(
+                        ast.ColumnRef(bare, table=alias_part), None))
+            else:
+                out.append(item)
+        return out
+
+    @staticmethod
+    def _output_names(bound_items, items) -> List[str]:
+        names: List[str] = []
+        used: Dict[str, int] = {}
+        for (expr, alias), item in zip(bound_items, items):
+            if alias:
+                name = alias.lower()
+            elif isinstance(item.expr, ast.ColumnRef):
+                name = item.expr.name.lower()
+            elif isinstance(expr, BoundAgg) or contains_aggregate(expr):
+                name = expr.sql().lower().replace(" ", "")
+                name = "".join(c for c in name if c.isalnum() or c in "_$(,)*.")
+            else:
+                name = f"col{len(names)}"
+            if name in used:
+                used[name] += 1
+                name = f"{name}_{used[name]}"
+            else:
+                used[name] = 0
+            names.append(name)
+        return names
+
+    def _bind_order(self, order_by, binder: Binder, bound_items, items
+                    ) -> List[Tuple[BoundExpr, bool]]:
+        alias_map: Dict[str, BoundExpr] = {}
+        for (expr, alias), _item in zip(bound_items, items):
+            if alias:
+                alias_map[alias.lower()] = expr
+        keys: List[Tuple[BoundExpr, bool]] = []
+        for order in order_by:
+            expr = order.expr
+            if isinstance(expr, ast.ColumnRef) and expr.table is None \
+                    and expr.name.lower() in alias_map:
+                keys.append((alias_map[expr.name.lower()],
+                             order.descending))
+                continue
+            if isinstance(expr, ast.Literal) \
+                    and isinstance(expr.value, int):
+                index = expr.value - 1
+                if not 0 <= index < len(bound_items):
+                    raise BindError(
+                        f"ORDER BY position {expr.value} out of range")
+                keys.append((bound_items[index][0], order.descending))
+                continue
+            keys.append((binder.bind(expr), order.descending))
+        return keys
+
+    # -- aggregation --------------------------------------------------------
+
+    def _aggregate(self, node: PlanNode, bound_items, group_exprs,
+                   having, order_keys):
+        group_names = [e.sql().lower() for e in group_exprs]
+        if len(set(group_names)) != len(group_names):
+            raise BindError("duplicate GROUP BY expression")
+
+        aggs: List[BoundAgg] = []
+        agg_index: Dict[str, int] = {}
+
+        def intern_agg(agg: BoundAgg) -> int:
+            key = agg.sql().lower()
+            if key not in agg_index:
+                agg_index[key] = len(aggs)
+                aggs.append(agg)
+            return agg_index[key]
+
+        all_exprs = [e for e, _a in bound_items]
+        if having is not None:
+            all_exprs.append(having)
+        all_exprs.extend(e for e, _d in order_keys)
+        for expr in all_exprs:
+            for agg in collect_aggregates(expr):
+                intern_agg(agg)
+
+        agg_node = AggregateNode(node, group_exprs, group_names, aggs)
+
+        group_map = {e.sql().lower(): (name, e.dtype)
+                     for e, name in zip(group_exprs, group_names)}
+
+        def rewrite(expr: BoundExpr) -> BoundExpr:
+            def mapper(n: BoundExpr):
+                if isinstance(n, BoundAgg):
+                    i = agg_index[n.sql().lower()]
+                    return BoundColumn(agg_node.agg_names[i], n.dtype)
+                hit = group_map.get(n.sql().lower())
+                if hit is not None:
+                    return BoundColumn(hit[0], hit[1])
+                return None
+
+            return replace_nodes(expr, mapper)
+
+        new_items = [(rewrite(e), a) for e, a in bound_items]
+        new_having = rewrite(having) if having is not None else None
+        new_order = [(rewrite(e), d) for e, d in order_keys]
+
+        allowed = set(agg_node.schema.names)
+        for expr, _alias in new_items:
+            for key in expr.column_keys():
+                if key not in allowed:
+                    raise BindError(
+                        f"column {key!r} must appear in GROUP BY or "
+                        f"inside an aggregate")
+        if new_having is not None:
+            for key in new_having.column_keys():
+                if key not in allowed:
+                    raise BindError(
+                        f"HAVING column {key!r} must appear in GROUP BY "
+                        f"or inside an aggregate")
+        return agg_node, new_items, new_having, new_order

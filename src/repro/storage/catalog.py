@@ -1,0 +1,111 @@
+"""The catalog: the namespace of tables, streams and continuous queries.
+
+DataCell's "natural integration of baskets and tables within the same
+processing fabric" starts here — both kinds of objects live in one
+catalog so the binder resolves a FROM item to either without the query
+author caring which it is.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import CatalogError
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+class StreamDef:
+    """Catalog entry for a declared stream (schema only; the live basket
+    is owned by the runtime layer)."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name.lower()
+        self.schema = schema
+
+    def __repr__(self) -> str:
+        return f"StreamDef({self.name}, {self.schema!r})"
+
+
+class Catalog:
+    """Name -> object mapping for tables and streams."""
+
+    def __init__(self):
+        self._tables: Dict[str, Table] = {}
+        self._streams: Dict[str, StreamDef] = {}
+
+    # -- tables ---------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        name = name.lower()
+        self._check_free(name)
+        table = Table(name, schema)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if self._tables.pop(name.lower(), None) is None:
+            raise CatalogError(f"no table {name!r}")
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> List[Table]:
+        return list(self._tables.values())
+
+    # -- streams ----------------------------------------------------------
+
+    def create_stream(self, name: str, schema: Schema) -> StreamDef:
+        name = name.lower()
+        self._check_free(name)
+        stream = StreamDef(name, schema)
+        self._streams[name] = stream
+        return stream
+
+    def drop_stream(self, name: str) -> None:
+        if self._streams.pop(name.lower(), None) is None:
+            raise CatalogError(f"no stream {name!r}")
+
+    def stream(self, name: str) -> StreamDef:
+        try:
+            return self._streams[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no stream {name!r}") from None
+
+    def has_stream(self, name: str) -> bool:
+        return name.lower() in self._streams
+
+    def streams(self) -> List[StreamDef]:
+        return list(self._streams.values())
+
+    # -- generic -----------------------------------------------------------
+
+    def schema_of(self, name: str) -> Schema:
+        """Schema of a table or stream named *name*."""
+        name = name.lower()
+        if name in self._tables:
+            return self._tables[name].schema
+        if name in self._streams:
+            return self._streams[name].schema
+        raise CatalogError(f"no table or stream {name!r}")
+
+    def is_stream(self, name: str) -> bool:
+        return name.lower() in self._streams
+
+    def exists(self, name: str) -> bool:
+        name = name.lower()
+        return name in self._tables or name in self._streams
+
+    def _check_free(self, name: str) -> None:
+        if self.exists(name):
+            raise CatalogError(f"name {name!r} already in use")
+
+    def __repr__(self) -> str:
+        return (f"Catalog(tables={sorted(self._tables)}, "
+                f"streams={sorted(self._streams)})")

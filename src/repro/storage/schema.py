@@ -1,0 +1,95 @@
+"""Relational schemas: ordered, typed column definitions."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import CatalogError
+from repro.storage import types as dt
+
+
+class ColumnDef:
+    """A named, typed column."""
+
+    __slots__ = ("name", "dtype")
+
+    def __init__(self, name: str, dtype: dt.DataType):
+        if not name:
+            raise CatalogError("column name must be non-empty")
+        self.name = name.lower()
+        self.dtype = dtype
+
+    def __repr__(self) -> str:
+        return f"{self.name} {self.dtype.name}"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, ColumnDef)
+                and other.name == self.name and other.dtype == self.dtype)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.dtype))
+
+
+class Schema:
+    """An ordered collection of :class:`ColumnDef` with name lookup."""
+
+    def __init__(self, columns: Iterable[ColumnDef]):
+        self.columns: List[ColumnDef] = list(columns)
+        seen = set()
+        for col in self.columns:
+            if col.name in seen:
+                raise CatalogError(f"duplicate column name {col.name!r}")
+            seen.add(col.name)
+        self._by_name = {c.name: i for i, c in enumerate(self.columns)}
+
+    @classmethod
+    def of(cls, *pairs: Tuple[str, dt.DataType]) -> "Schema":
+        """Shorthand: ``Schema.of(("a", INT), ("b", STRING))``."""
+        return cls(ColumnDef(n, t) for n, t in pairs)
+
+    @classmethod
+    def parse(cls, pairs: Sequence[Tuple[str, str]]) -> "Schema":
+        """Build from ``(name, type_name)`` string pairs."""
+        return cls(ColumnDef(n, dt.DataType.by_name(t)) for n, t in pairs)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Schema) and other.columns == self.columns
+
+    @property
+    def names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def types(self) -> List[dt.DataType]:
+        return [c.dtype for c in self.columns]
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no column {name!r}") from None
+
+    def column(self, name: str) -> ColumnDef:
+        return self.columns[self.index_of(name)]
+
+    def type_of(self, name: str) -> dt.DataType:
+        return self.column(name).dtype
+
+    def rename(self, names: Sequence[str]) -> "Schema":
+        """Same types under new names (e.g. for projections/aliases)."""
+        if len(names) != len(self.columns):
+            raise CatalogError("rename: wrong number of column names")
+        return Schema(ColumnDef(n, c.dtype)
+                      for n, c in zip(names, self.columns))
+
+    def __repr__(self) -> str:
+        return "Schema(" + ", ".join(map(repr, self.columns)) + ")"

@@ -1,0 +1,18 @@
+"""Workload stream sources and generators."""
+
+from repro.streams.source import (CSVSource, GeneratorSource, ListSource,
+                                  RateSource, StreamSource, merge_sources)
+from repro.streams.generators import (NETFLOW_SCHEMA, ROOMS_SCHEMA,
+                                      SENSOR_SCHEMA, TICKS_SCHEMA,
+                                      WEBLOG_SCHEMA, netflow_rows,
+                                      reference_rooms, sensor_rows,
+                                      tick_rows, weblog_rows)
+from repro.streams.linearroad import (POSITION_SCHEMA, LinearRoadConfig,
+                                      LinearRoadGenerator)
+
+__all__ = ["CSVSource", "GeneratorSource", "ListSource", "RateSource",
+           "StreamSource", "merge_sources",
+           "NETFLOW_SCHEMA", "ROOMS_SCHEMA", "SENSOR_SCHEMA",
+           "TICKS_SCHEMA", "WEBLOG_SCHEMA", "netflow_rows",
+           "reference_rooms", "sensor_rows", "tick_rows", "weblog_rows",
+           "POSITION_SCHEMA", "LinearRoadConfig", "LinearRoadGenerator"]

@@ -1,0 +1,282 @@
+"""A scaled-down Linear Road benchmark substrate.
+
+The demo paper points at the companion system paper: *"DataCell is shown
+to perform extremely well, easily meeting the requirements of the Linear
+Road Benchmark in [16]"*. The real benchmark needs the authors' traffic
+simulator and hours of wall-clock driving; we substitute a compact,
+seeded traffic simulator that produces the same *kind* of input — car
+position reports on a multi-segment expressway with accidents and the
+congestion they cause — so the DataCell queries (segment statistics,
+accident detection, toll computation) exercise the same code paths.
+
+Scaling knobs: ``timescale`` compresses benchmark seconds into simulated
+milliseconds; the default produces a few thousand reports instead of
+millions. The response-time requirement scales with it (the official
+constraint is 5 benchmark seconds per notification).
+
+Ground truth: the generator returns the accident intervals it injected,
+and :func:`reference_segment_stats` / :func:`expected_tolls` recompute
+the query answers in plain Python for validation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+POSITION_SCHEMA = ("CREATE STREAM position ("
+                   "car INT, speed FLOAT, xway INT, lane INT, "
+                   "dir INT, seg INT, pos INT)")
+
+# Linear Road toll rule: toll only when the 5-minute average speed is
+# below 40 mph, more than 50 cars are in the segment, and there is no
+# accident in the 5 downstream segments.
+LAV_THRESHOLD = 40.0
+CAR_THRESHOLD = 50
+RESPONSE_CONSTRAINT_S = 5.0
+
+
+def toll(lav: Optional[float], cars: int, accident: bool,
+         car_threshold: int = CAR_THRESHOLD) -> int:
+    """The benchmark's toll formula (0 when the segment flows freely)."""
+    if accident or cars <= car_threshold:
+        return 0
+    if lav is not None and lav >= LAV_THRESHOLD:
+        return 0
+    return 2 * (cars - car_threshold) ** 2
+
+
+class Accident:
+    """Ground-truth record of one injected accident."""
+
+    __slots__ = ("xway", "direction", "seg", "start_ms", "end_ms")
+
+    def __init__(self, xway: int, direction: int, seg: int,
+                 start_ms: int, end_ms: int):
+        self.xway = xway
+        self.direction = direction
+        self.seg = seg
+        self.start_ms = start_ms
+        self.end_ms = end_ms
+
+    def active_at(self, t_ms: int) -> bool:
+        return self.start_ms <= t_ms < self.end_ms
+
+    def __repr__(self) -> str:
+        return (f"Accident(x{self.xway} d{self.direction} seg{self.seg} "
+                f"[{self.start_ms},{self.end_ms})ms)")
+
+
+class LinearRoadConfig:
+    """Generator parameters (defaults give a laptop-scale run)."""
+
+    def __init__(self, cars: int = 120, xways: int = 1, segments: int = 10,
+                 duration_s: int = 120, report_every_s: int = 3,
+                 seg_length: int = 5280, accident_rate: float = 0.01,
+                 accident_duration_s: int = 20, seed: int = 7,
+                 timescale: float = 1.0):
+        self.cars = cars
+        self.xways = xways
+        self.segments = segments
+        self.duration_s = duration_s
+        self.report_every_s = report_every_s
+        self.seg_length = seg_length
+        self.accident_rate = accident_rate
+        self.accident_duration_s = accident_duration_s
+        self.seed = seed
+        # 1.0 = benchmark seconds mapped to simulated seconds;
+        # 0.1 squeezes the run 10x (all ms timestamps shrink alike)
+        self.timescale = timescale
+
+    def scale_ms(self, seconds: float) -> int:
+        return int(seconds * 1000 * self.timescale)
+
+    @property
+    def response_constraint_ms(self) -> int:
+        return self.scale_ms(RESPONSE_CONSTRAINT_S)
+
+
+class _Car:
+    __slots__ = ("car_id", "xway", "direction", "lane", "pos", "speed",
+                 "enter_s", "stopped_until_s")
+
+    def __init__(self, car_id: int, xway: int, direction: int, lane: int,
+                 pos: float, speed: float, enter_s: int):
+        self.car_id = car_id
+        self.xway = xway
+        self.direction = direction
+        self.lane = lane
+        self.pos = pos
+        self.speed = speed
+        self.enter_s = enter_s
+        self.stopped_until_s = -1
+
+
+class LinearRoadGenerator:
+    """Seeded traffic simulator emitting position reports.
+
+    Cars enter over time, cruise with mildly varying speed, and a small
+    fraction stop mid-road long enough to register as an accident (the
+    benchmark detects one after four identical consecutive reports).
+    Cars upstream of an active accident slow down sharply, dragging the
+    segment's average speed below the toll threshold.
+    """
+
+    def __init__(self, config: Optional[LinearRoadConfig] = None):
+        self.config = config if config is not None else LinearRoadConfig()
+        self.accidents: List[Accident] = []
+
+    def events(self) -> List[Tuple[int, Tuple]]:
+        """Simulate and return ``(timestamp_ms, position_report)``."""
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        road_len = cfg.segments * cfg.seg_length
+        cars: List[_Car] = []
+        for cid in range(cfg.cars):
+            direction = rng.randint(0, 1)
+            cars.append(_Car(
+                cid, rng.randrange(cfg.xways), direction,
+                rng.randint(0, 2),
+                0.0 if direction == 0 else float(road_len - 1),
+                rng.uniform(40.0, 100.0),
+                rng.randrange(0, max(cfg.duration_s // 2, 1))))
+        self.accidents = []
+        active: Dict[Tuple[int, int, int], Accident] = {}
+        out: List[Tuple[int, Tuple]] = []
+
+        for t in range(0, cfg.duration_s, cfg.report_every_s):
+            t_ms = cfg.scale_ms(t)
+            # expire accidents
+            for key, acc in list(active.items()):
+                if t_ms >= acc.end_ms:
+                    del active[key]
+            live = [car for car in cars
+                    if t >= car.enter_s and 0 <= car.pos < road_len]
+            # first pass: accident decisions, so every car in this tick
+            # sees the same set of active accidents
+            for car in live:
+                seg = int(car.pos // cfg.seg_length)
+                key = (car.xway, car.direction, seg)
+                if car.stopped_until_s <= t \
+                        and rng.random() < cfg.accident_rate \
+                        and key not in active:
+                    car.stopped_until_s = t + cfg.accident_duration_s
+                    acc = Accident(car.xway, car.direction, seg, t_ms,
+                                   cfg.scale_ms(t +
+                                                cfg.accident_duration_s))
+                    self.accidents.append(acc)
+                    active[key] = acc
+            for car in live:
+                seg = int(car.pos // cfg.seg_length)
+                key = (car.xway, car.direction, seg)
+                if car.stopped_until_s > t:
+                    speed = 0.0
+                elif key in active or self._near_accident(active, car,
+                                                          seg):
+                    speed = rng.uniform(5.0, 15.0)  # congestion crawl
+                else:
+                    car.speed += rng.gauss(0, 2.0)
+                    car.speed = min(max(car.speed, 30.0), 110.0)
+                    speed = car.speed
+                out.append((t_ms, (car.car_id, round(speed, 2), car.xway,
+                                   car.lane, car.direction, seg,
+                                   int(car.pos))))
+                # advance: mph -> feet per report interval
+                feet = speed * 5280.0 / 3600.0 * cfg.report_every_s
+                car.pos += feet if car.direction == 0 else -feet
+        return out
+
+    @staticmethod
+    def _near_accident(active: Dict, car: _Car, seg: int) -> bool:
+        """True when the car is within 5 segments upstream of a crash."""
+        for (xway, direction, aseg), _acc in active.items():
+            if xway != car.xway or direction != car.direction:
+                continue
+            delta = aseg - seg if direction == 0 else seg - aseg
+            if 0 <= delta <= 5:
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------
+# reference (oracle) computations for validation
+# ---------------------------------------------------------------------
+
+def reference_segment_stats(events: Sequence[Tuple[int, Tuple]],
+                            window_ms: int, slide_ms: int,
+                            anchor_ms: int = 0
+                            ) -> List[Tuple[int, Dict]]:
+    """Per-window ``{(xway, dir, seg): (avg_speed, car_count)}``.
+
+    Matches the semantics of the DataCell time-window query
+    ``SELECT xway, dir, seg, avg(speed), count(*) ... GROUP BY``:
+    windows end at ``anchor + k*slide`` and cover ``window_ms``.
+    ``car_count`` counts *distinct* cars, per the benchmark definition.
+    """
+    if not events:
+        return []
+    out: List[Tuple[int, Dict]] = []
+    end = anchor_ms + window_ms
+    last_ts = max(ts for ts, _row in events)
+    while end <= last_ts + slide_ms:
+        lo = end - window_ms
+        groups: Dict[Tuple[int, int, int], List] = {}
+        for ts, row in events:
+            if not (lo <= ts < end):
+                continue
+            car, speed, xway, _lane, direction, seg, _pos = row
+            entry = groups.setdefault((xway, direction, seg),
+                                      [0.0, 0, set()])
+            entry[0] += speed
+            entry[1] += 1
+            entry[2].add(car)
+        summary = {key: (value[0] / value[1], len(value[2]))
+                   for key, value in groups.items()}
+        out.append((end, summary))
+        end += slide_ms
+    return out
+
+
+def expected_tolls(stats: List[Tuple[int, Dict]],
+                   accidents: Sequence[Accident],
+                   car_threshold: int = CAR_THRESHOLD
+                   ) -> List[Tuple[int, Dict]]:
+    """Toll per (window end, segment) from reference stats + accidents."""
+    out: List[Tuple[int, Dict]] = []
+    for end, summary in stats:
+        tolls: Dict[Tuple[int, int, int], int] = {}
+        for (xway, direction, seg), (lav, cars) in summary.items():
+            blocked = any(
+                acc.xway == xway and acc.direction == direction
+                and (0 <= (acc.seg - seg if direction == 0
+                           else seg - acc.seg) <= 5)
+                and acc.active_at(end - 1)
+                for acc in accidents)
+            tolls[(xway, direction, seg)] = toll(lav, cars, blocked,
+                                                 car_threshold)
+        out.append((end, tolls))
+    return out
+
+
+def detect_stopped_cars(events: Sequence[Tuple[int, Tuple]],
+                        consecutive: int = 4
+                        ) -> List[Tuple[int, int, Tuple[int, int, int]]]:
+    """Benchmark accident rule: a car is *stopped* after ``consecutive``
+    identical position reports. Returns ``(ts, car, (xway, dir, seg))``
+    detection events."""
+    history: Dict[int, List[Tuple[int, int]]] = {}
+    detections = []
+    flagged = set()
+    for ts, row in events:
+        car, speed, xway, _lane, direction, seg, pos = row
+        run = history.setdefault(car, [])
+        if run and run[-1][1] == pos:
+            run.append((ts, pos))
+        else:
+            history[car] = [(ts, pos)]
+            flagged.discard(car)
+            continue
+        if len(history[car]) >= consecutive and car not in flagged:
+            flagged.add(car)
+            detections.append((ts, car, (xway, direction, seg)))
+    return detections

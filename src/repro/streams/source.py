@@ -1,0 +1,131 @@
+"""Stream sources: timestamped tuple producers feeding receptors.
+
+A source is an iterator of ``(timestamp_ms, row)`` pairs with
+non-decreasing timestamps. :class:`RateSource` assigns timestamps to an
+untimed row iterable at a fixed event rate — the demo's "data files which
+can be streamed in the system at rates which are configurable".
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Any, Callable, Iterable, Iterator, List, \
+    Sequence, Tuple
+
+from repro.errors import StreamError
+
+Event = Tuple[int, Sequence[Any]]
+
+
+class StreamSource:
+    """Base class; subclasses implement :meth:`events`."""
+
+    def events(self) -> Iterator[Event]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Event]:
+        return self.events()
+
+
+class ListSource(StreamSource):
+    """Replays explicit ``(timestamp_ms, row)`` pairs."""
+
+    def __init__(self, events: Iterable[Event]):
+        self._events = list(events)
+        last = None
+        for ts, _row in self._events:
+            if last is not None and ts < last:
+                raise StreamError("ListSource timestamps must be "
+                                  "non-decreasing")
+            last = ts
+
+    def events(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class RateSource(StreamSource):
+    """Assigns timestamps to rows at *rate* events per second.
+
+    ``start_ms`` is the timestamp of the first event; event ``i`` arrives
+    at ``start_ms + i * 1000 / rate`` (integer milliseconds).
+    """
+
+    def __init__(self, rows: Iterable[Sequence[Any]], rate: float,
+                 start_ms: int = 0):
+        if rate <= 0:
+            raise StreamError("rate must be positive")
+        self._rows = rows
+        self.rate = float(rate)
+        self.start_ms = int(start_ms)
+
+    def events(self) -> Iterator[Event]:
+        period = 1000.0 / self.rate
+        for i, row in enumerate(self._rows):
+            yield (self.start_ms + int(i * period), row)
+
+
+class GeneratorSource(StreamSource):
+    """Wraps a zero-argument factory of event iterators (replayable)."""
+
+    def __init__(self, factory: Callable[[], Iterator[Event]]):
+        self._factory = factory
+
+    def events(self) -> Iterator[Event]:
+        return self._factory()
+
+
+class CSVSource(StreamSource):
+    """Reads rows from a CSV file; parses with the given converters.
+
+    ``converters`` is one callable per column (e.g. ``int``/``float``/
+    ``str``). Timestamps are assigned by rate, like :class:`RateSource`.
+    """
+
+    def __init__(self, path: str, converters: Sequence[Callable],
+                 rate: float, start_ms: int = 0, skip_header: bool = True):
+        self.path = path
+        self.converters = list(converters)
+        self.rate = float(rate)
+        self.start_ms = int(start_ms)
+        self.skip_header = skip_header
+
+    def events(self) -> Iterator[Event]:
+        period = 1000.0 / self.rate
+
+        def rows():
+            with open(self.path, newline="") as f:
+                reader = csv.reader(f)
+                for i, raw in enumerate(reader):
+                    if i == 0 and self.skip_header:
+                        continue
+                    yield [conv(cell) if cell != "" else None
+                           for conv, cell in zip(self.converters, raw)]
+
+        for i, row in enumerate(rows()):
+            yield (self.start_ms + int(i * period), row)
+
+
+def merge_sources(*sources: StreamSource) -> StreamSource:
+    """Merge several sources into one time-ordered event stream."""
+
+    def factory() -> Iterator[Event]:
+        import heapq
+
+        iters = [iter(s) for s in sources]
+        heads: List[Tuple[int, int, Sequence[Any]]] = []
+        for idx, it in enumerate(iters):
+            first = next(it, None)
+            if first is not None:
+                heads.append((first[0], idx, first[1]))
+        heapq.heapify(heads)
+        while heads:
+            ts, idx, row = heapq.heappop(heads)
+            yield (ts, row)
+            following = next(iters[idx], None)
+            if following is not None:
+                heapq.heappush(heads, (following[0], idx, following[1]))
+
+    return GeneratorSource(factory)

@@ -1,0 +1,49 @@
+"""Shared fixtures: a populated catalog and an engine factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import DataCellEngine
+from repro.storage import Schema
+from repro.storage.catalog import Catalog
+
+
+@pytest.fixture
+def emp_catalog() -> Catalog:
+    """Catalog with the emp/dept pair used across SQL-layer tests."""
+    catalog = Catalog()
+    emp = catalog.create_table("emp", Schema.parse(
+        [("id", "INT"), ("dept", "STRING"), ("salary", "FLOAT")]))
+    emp.insert_rows([
+        (1, "a", 100.0),
+        (2, "a", 200.0),
+        (3, "b", 50.0),
+        (4, None, None),
+        (5, "b", 150.0),
+    ])
+    dept = catalog.create_table("dept", Schema.parse(
+        [("name", "STRING"), ("city", "STRING"), ("budget", "INT")]))
+    dept.insert_rows([("a", "ams", 1000), ("b", "rot", 500),
+                      ("c", "utr", 250)])
+    return catalog
+
+
+@pytest.fixture
+def engine() -> DataCellEngine:
+    """A fresh engine with one sensors stream and a rooms table."""
+    eng = DataCellEngine()
+    eng.execute("CREATE STREAM sensors (sid INT, temp FLOAT)")
+    eng.execute("CREATE TABLE rooms (sid INT, room VARCHAR(16))")
+    eng.execute("INSERT INTO rooms VALUES (0,'lab'), (1,'office'), "
+                "(2,'hall')")
+    return eng
+
+
+def run_select(catalog: Catalog, sql: str):
+    """Compile + run a one-time SELECT over a catalog; returns rows."""
+    from repro.sql import compile_select
+    from repro.sql.executor import ExecutionContext, PlanExecutor
+
+    plan = compile_select(sql, catalog)
+    return PlanExecutor(ExecutionContext(catalog)).execute(plan).to_rows()

@@ -1,0 +1,173 @@
+"""Unit tests for BATs, vector heaps and candidate lists."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.mal.bat import (BAT, VectorHeap, all_candidates, as_candidates,
+                           empty_candidates)
+from repro.storage import types as dt
+
+
+class TestVectorHeap:
+    def test_append_and_view(self):
+        heap = VectorHeap(dt.INT)
+        for i in range(100):
+            heap.append(i)
+        assert len(heap) == 100
+        assert heap.view().tolist() == list(range(100))
+
+    def test_extend_grows_capacity(self):
+        heap = VectorHeap(dt.INT, capacity=4)
+        heap.extend(np.arange(1000, dtype=np.int64))
+        assert len(heap) == 1000
+        assert heap.capacity >= 1000
+
+    def test_drop_head(self):
+        heap = VectorHeap(dt.INT)
+        heap.extend(np.arange(10, dtype=np.int64))
+        heap.drop_head(4)
+        assert heap.view().tolist() == [4, 5, 6, 7, 8, 9]
+
+    def test_drop_head_out_of_range(self):
+        heap = VectorHeap(dt.INT)
+        heap.extend(np.arange(3, dtype=np.int64))
+        with pytest.raises(KernelError):
+            heap.drop_head(4)
+        with pytest.raises(KernelError):
+            heap.drop_head(-1)
+
+    def test_drop_then_append_reuses_space(self):
+        heap = VectorHeap(dt.INT, capacity=8)
+        heap.extend(np.arange(8, dtype=np.int64))
+        heap.drop_head(6)
+        heap.extend(np.arange(6, dtype=np.int64))
+        assert heap.view().tolist() == [6, 7, 0, 1, 2, 3, 4, 5]
+
+    def test_clear(self):
+        heap = VectorHeap(dt.INT)
+        heap.extend(np.arange(5, dtype=np.int64))
+        heap.clear()
+        assert len(heap) == 0
+
+    def test_string_heap(self):
+        heap = VectorHeap(dt.STRING)
+        arr = np.empty(2, dtype=object)
+        arr[:] = ["a", None]
+        heap.extend(arr)
+        assert heap.view().tolist() == ["a", None]
+
+
+class TestBATConstruction:
+    def test_from_values_int(self):
+        bat = BAT.from_values(dt.INT, [1, 2, 3])
+        assert len(bat) == 3
+        assert bat.tolist() == [1, 2, 3]
+
+    def test_from_values_coerce_none(self):
+        bat = BAT.from_values(dt.INT, [1, None, 3], coerce=True)
+        assert bat.tolist() == [1, None, 3]
+        assert bat.values[1] == dt.INT_NIL
+
+    def test_from_values_strings(self):
+        bat = BAT.from_values(dt.STRING, ["x", None, "y"], coerce=True)
+        assert bat.tolist() == ["x", None, "y"]
+
+    def test_from_array(self):
+        bat = BAT.from_array(dt.FLOAT, np.array([1.0, 2.0]))
+        assert bat.tolist() == [1.0, 2.0]
+
+    def test_iteration(self):
+        bat = BAT.from_values(dt.INT, [5, 6])
+        assert list(bat) == [5, 6]
+
+
+class TestBATMutation:
+    def test_append_coerce(self):
+        bat = BAT(dt.FLOAT)
+        bat.append(None, coerce=True)
+        bat.append(2, coerce=True)
+        assert bat.tolist() == [None, 2.0]
+
+    def test_extend_strings_coerce(self):
+        bat = BAT(dt.STRING)
+        bat.extend(["a", None], coerce=True)
+        assert bat.tolist() == ["a", None]
+
+    def test_append_bat_type_check(self):
+        a = BAT.from_values(dt.INT, [1])
+        b = BAT.from_values(dt.FLOAT, [1.0])
+        with pytest.raises(KernelError):
+            a.append_bat(b)
+
+    def test_append_bat(self):
+        a = BAT.from_values(dt.INT, [1, 2])
+        a.append_bat(BAT.from_values(dt.INT, [3]))
+        assert a.tolist() == [1, 2, 3]
+
+    def test_delete_head_advances_hseqbase(self):
+        bat = BAT.from_values(dt.INT, [10, 20, 30, 40])
+        bat.delete_head(2)
+        assert bat.hseqbase == 2
+        assert bat.tolist() == [30, 40]
+
+    def test_clear_keeps_oid_monotone(self):
+        bat = BAT.from_values(dt.INT, [1, 2, 3])
+        bat.clear()
+        assert bat.hseqbase == 3
+        assert len(bat) == 0
+
+
+class TestBATDerivation:
+    def test_slice_is_copy(self):
+        bat = BAT.from_values(dt.INT, [1, 2, 3, 4])
+        view = bat.slice(1, 3)
+        assert view.tolist() == [2, 3]
+        assert view.hseqbase == 1
+        view.append(99)
+        assert bat.tolist() == [1, 2, 3, 4]
+
+    def test_take(self):
+        bat = BAT.from_values(dt.INT, [10, 20, 30])
+        out = bat.take(np.array([2, 0], dtype=np.int64))
+        assert out.tolist() == [30, 10]
+
+    def test_copy_independent(self):
+        bat = BAT.from_values(dt.INT, [1, 2])
+        cp = bat.copy()
+        cp.append(3)
+        assert len(bat) == 2 and len(cp) == 3
+
+    def test_nil_mask(self):
+        bat = BAT.from_values(dt.FLOAT, [1.0, None], coerce=True)
+        assert bat.nil_mask().tolist() == [False, True]
+
+    def test_get_out_of_range(self):
+        bat = BAT.from_values(dt.INT, [1])
+        with pytest.raises(KernelError):
+            bat.get(5)
+
+    def test_get_returns_python_value(self):
+        bat = BAT.from_values(dt.INT, [1, None], coerce=True)
+        assert bat.get(0) == 1
+        assert bat.get(1) is None
+
+    def test_repr_truncates(self):
+        bat = BAT.from_values(dt.INT, list(range(20)))
+        assert "..." in repr(bat)
+
+
+class TestCandidates:
+    def test_empty(self):
+        assert len(empty_candidates()) == 0
+        assert empty_candidates().dtype == np.int64
+
+    def test_all(self):
+        assert all_candidates(4).tolist() == [0, 1, 2, 3]
+
+    def test_as_candidates_sorts(self):
+        assert as_candidates([3, 1, 2]).tolist() == [1, 2, 3]
+
+    def test_as_candidates_rejects_2d(self):
+        with pytest.raises(KernelError):
+            as_candidates(np.zeros((2, 2), dtype=np.int64))

@@ -1,0 +1,81 @@
+"""Tests for the benchmark harness and reporting helpers."""
+
+import pytest
+
+from repro.bench.harness import (ResultTable, run_windowed_query, speedup,
+                                 time_callable)
+from repro.bench.reporting import (compare_runs, load_json, save_json,
+                                   to_json, to_markdown)
+
+
+class TestResultTable:
+    def make(self):
+        table = ResultTable("demo", ["n", "ms"])
+        table.add(1, 0.5)
+        table.add(2, 0.25)
+        return table
+
+    def test_render_aligned(self):
+        text = self.make().render()
+        assert "== demo ==" in text
+        assert "0.5000" in text
+
+    def test_add_arity_checked(self):
+        with pytest.raises(ValueError):
+            self.make().add(1)
+
+    def test_as_dicts(self):
+        assert self.make().as_dicts()[0] == {"n": 1, "ms": 0.5}
+
+
+class TestHelpers:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) == float("inf")
+
+    def test_time_callable_returns_result(self):
+        seconds, result = time_callable(lambda: 42, repeats=2, warmup=1)
+        assert result == 42 and seconds >= 0.0
+
+    def test_run_windowed_query_contract(self):
+        out = run_windowed_query(
+            [(i, float(i)) for i in range(30)],
+            "CREATE STREAM s (k INT, v FLOAT)", "s",
+            "SELECT k, sum(v) FROM s [RANGE 10 SLIDE 5] GROUP BY k",
+            mode="incremental")
+        assert out["mode"] == "incremental"
+        assert out["fires"] == 5
+        assert out["tuples_in"] == 30
+        assert out["batches"]
+
+
+class TestReporting:
+    def make(self):
+        table = ResultTable("t1", ["x", "y"])
+        table.add(1, 2.0)
+        return table
+
+    def test_markdown(self):
+        md = to_markdown(self.make())
+        assert md.startswith("### t1")
+        assert "| x | y |" in md
+        assert "| 1 | 2.0000 |" in md
+
+    def test_json_roundtrip(self, tmp_path):
+        path = str(tmp_path / "run.json")
+        save_json([self.make()], path)
+        loaded = load_json(path)
+        assert loaded[0]["title"] == "t1"
+        assert loaded[0]["rows"] == [[1, 2.0]]
+
+    def test_compare_runs_flags_drift(self):
+        before = [{"title": "t1", "columns": ["x", "y"],
+                   "rows": [[1, 2.0]]}]
+        after = [{"title": "t1", "columns": ["x", "y"],
+                  "rows": [[1, 10.0]]}]
+        findings = compare_runs(before, after, tolerance=0.5)
+        assert findings and "t1 / y" in findings[0]
+
+    def test_compare_runs_quiet_within_tolerance(self):
+        run = [{"title": "t1", "columns": ["x"], "rows": [[2.0]]}]
+        assert compare_runs(run, run) == []

@@ -1,0 +1,187 @@
+"""Unit tests for semantic analysis (the binder)."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.sql import ast
+from repro.sql.binder import Binder, Scope
+from repro.sql.expressions import (BoundAgg, BoundCase, BoundColumn,
+                                   BoundCompare, BoundLiteral, BoundNeg)
+from repro.sql.parser import parse
+from repro.storage import types as dt
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def scope():
+    s = Scope()
+    s.add_source("t", Schema.parse(
+        [("a", "INT"), ("b", "FLOAT"), ("s", "STRING")]))
+    s.add_source("u", Schema.parse([("a", "INT"), ("x", "STRING")]))
+    return s
+
+
+def bind(scope, text, allow_aggregates=False):
+    expr = parse(f"SELECT {text} FROM t").items[0].expr
+    return Binder(scope, allow_aggregates).bind(expr)
+
+
+class TestResolution:
+    def test_qualified(self, scope):
+        out = bind(scope, "t.a")
+        assert out.key == "t.a" and out.dtype is dt.INT
+
+    def test_unqualified_unique(self, scope):
+        assert bind(scope, "b").key == "t.b"
+
+    def test_ambiguous(self, scope):
+        with pytest.raises(BindError, match="ambiguous"):
+            bind(scope, "a")
+
+    def test_unknown(self, scope):
+        with pytest.raises(BindError, match="unknown column"):
+            bind(scope, "zz")
+
+    def test_unknown_qualified(self, scope):
+        with pytest.raises(BindError):
+            bind(scope, "t.zz")
+
+    def test_duplicate_alias_rejected(self, scope):
+        with pytest.raises(BindError):
+            scope.add_source("t", Schema.parse([("q", "INT")]))
+
+
+class TestTyping:
+    def test_arith_widens(self, scope):
+        assert bind(scope, "t.a + t.b").dtype is dt.FLOAT
+
+    def test_division_float(self, scope):
+        assert bind(scope, "t.a / 2").dtype is dt.FLOAT
+
+    def test_compare_boolean(self, scope):
+        out = bind(scope, "t.a > 1")
+        assert isinstance(out, BoundCompare) and out.dtype is dt.BOOLEAN
+
+    def test_string_number_compare_rejected(self, scope):
+        with pytest.raises(BindError):
+            bind(scope, "t.s > 1")
+
+    def test_string_arith_rejected(self, scope):
+        with pytest.raises(BindError):
+            bind(scope, "t.s * 2")
+
+    def test_concat_typed_string(self, scope):
+        assert bind(scope, "t.s || 'x'").dtype is dt.STRING
+
+    def test_unary_minus_folds_literal(self, scope):
+        out = bind(scope, "-5")
+        assert isinstance(out, BoundLiteral) and out.value == -5
+
+    def test_unary_minus_non_numeric(self, scope):
+        with pytest.raises(BindError):
+            bind(scope, "-t.s")
+
+
+class TestNullHandling:
+    def test_null_compare_adopts_type(self, scope):
+        out = bind(scope, "t.a = NULL")
+        assert out.right.dtype is dt.INT
+
+    def test_null_arith_adopts_type(self, scope):
+        out = bind(scope, "t.b + NULL")
+        assert out.dtype is dt.FLOAT
+
+    def test_between_desugars(self, scope):
+        out = bind(scope, "t.a BETWEEN 1 AND 5")
+        assert out.dtype is dt.BOOLEAN
+        # desugared to (a >= 1) AND (a <= 5)
+        assert "AND" in out.sql()
+
+
+class TestInList:
+    def test_constants_coerced(self, scope):
+        out = bind(scope, "t.b IN (1, 2.5)")
+        assert out.values == [1.0, 2.5]
+
+    def test_non_constant_rejected(self, scope):
+        with pytest.raises(BindError, match="constants"):
+            bind(scope, "t.a IN (t.b)")
+
+    def test_null_item_kept(self, scope):
+        out = bind(scope, "t.a IN (1, NULL)")
+        assert out.values == [1, None]
+
+
+class TestCase:
+    def test_branch_type_unified(self, scope):
+        out = bind(scope, "CASE WHEN t.a > 0 THEN 1 ELSE 2.5 END")
+        assert isinstance(out, BoundCase) and out.dtype is dt.FLOAT
+
+    def test_null_branches_ignored_for_type(self, scope):
+        out = bind(scope, "CASE WHEN t.a > 0 THEN NULL ELSE 'x' END")
+        assert out.dtype is dt.STRING
+
+    def test_all_null_defaults_string(self, scope):
+        out = bind(scope, "CASE WHEN t.a > 0 THEN NULL END")
+        assert out.dtype is dt.STRING
+
+    def test_incompatible_branches(self, scope):
+        with pytest.raises(BindError):
+            bind(scope, "CASE WHEN t.a > 0 THEN 1 ELSE 'x' END")
+
+
+class TestAggregates:
+    def test_agg_allowed(self, scope):
+        out = bind(scope, "sum(t.a)", allow_aggregates=True)
+        assert isinstance(out, BoundAgg) and out.dtype is dt.INT
+
+    def test_avg_always_float(self, scope):
+        assert bind(scope, "avg(t.a)",
+                    allow_aggregates=True).dtype is dt.FLOAT
+
+    def test_count_star(self, scope):
+        out = bind(scope, "count(*)", allow_aggregates=True)
+        assert out.arg is None and out.dtype is dt.INT
+
+    def test_agg_rejected_in_where_context(self, scope):
+        with pytest.raises(BindError, match="not allowed"):
+            bind(scope, "sum(t.a)", allow_aggregates=False)
+
+    def test_nested_agg_rejected(self, scope):
+        with pytest.raises(BindError, match="nested"):
+            bind(scope, "sum(avg(t.a))", allow_aggregates=True)
+
+    def test_sum_of_string_rejected(self, scope):
+        with pytest.raises(BindError):
+            bind(scope, "sum(t.s)", allow_aggregates=True)
+
+    def test_min_of_string_allowed(self, scope):
+        out = bind(scope, "min(t.s)", allow_aggregates=True)
+        assert out.dtype is dt.STRING
+
+    def test_agg_wrong_arity(self, scope):
+        with pytest.raises(BindError):
+            bind(scope, "sum(t.a, t.b)", allow_aggregates=True)
+
+
+class TestFunctions:
+    def test_unknown_function(self, scope):
+        with pytest.raises(BindError, match="unknown function"):
+            bind(scope, "frobnicate(t.a)")
+
+    def test_arity_check(self, scope):
+        with pytest.raises(BindError):
+            bind(scope, "abs(t.a, t.b)")
+
+    def test_result_type(self, scope):
+        assert bind(scope, "length(t.s)").dtype is dt.INT
+        assert bind(scope, "abs(t.a)").dtype is dt.INT
+        assert bind(scope, "sqrt(t.a)").dtype is dt.FLOAT
+
+    def test_distinct_on_scalar_rejected(self, scope):
+        with pytest.raises(BindError):
+            bind(scope, "abs(DISTINCT t.a)")
+
+    def test_like_on_number_rejected(self, scope):
+        with pytest.raises(BindError):
+            bind(scope, "t.a LIKE 'x%'")

@@ -1,0 +1,98 @@
+"""Unit tests for the catalog and snapshot persistence."""
+
+import os
+
+import pytest
+
+from repro.errors import CatalogError, PersistenceError
+from repro.storage import Schema
+from repro.storage.catalog import Catalog
+from repro.storage.persistence import load_catalog, save_catalog
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    t = cat.create_table("t", Schema.parse(
+        [("a", "INT"), ("s", "STRING"), ("f", "FLOAT")]))
+    t.insert_rows([(1, "x", 1.5), (2, None, None)])
+    cat.create_stream("s", Schema.parse([("k", "INT"), ("v", "FLOAT")]))
+    return cat
+
+
+class TestCatalog:
+    def test_table_lookup(self, catalog):
+        assert catalog.table("T").name == "t"
+        assert catalog.has_table("t")
+        assert not catalog.has_table("nope")
+
+    def test_stream_lookup(self, catalog):
+        assert catalog.stream("s").schema.names == ["k", "v"]
+        assert catalog.is_stream("s")
+        assert not catalog.is_stream("t")
+
+    def test_schema_of_either(self, catalog):
+        assert catalog.schema_of("t").names == ["a", "s", "f"]
+        assert catalog.schema_of("s").names == ["k", "v"]
+
+    def test_schema_of_missing(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.schema_of("zz")
+
+    def test_name_collision_table_stream(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.create_stream("t", Schema.parse([("x", "INT")]))
+        with pytest.raises(CatalogError):
+            catalog.create_table("s", Schema.parse([("x", "INT")]))
+
+    def test_drop(self, catalog):
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(CatalogError):
+            catalog.drop_table("t")
+        catalog.drop_stream("s")
+        with pytest.raises(CatalogError):
+            catalog.drop_stream("s")
+
+    def test_listing(self, catalog):
+        assert [t.name for t in catalog.tables()] == ["t"]
+        assert [s.name for s in catalog.streams()] == ["s"]
+
+
+class TestPersistence:
+    def test_roundtrip(self, catalog, tmp_path):
+        save_catalog(catalog, str(tmp_path))
+        loaded = load_catalog(str(tmp_path))
+        assert loaded.table("t").to_rows() == catalog.table("t").to_rows()
+        assert loaded.stream("s").schema.names == ["k", "v"]
+
+    def test_roundtrip_empty_table(self, tmp_path):
+        cat = Catalog()
+        cat.create_table("empty", Schema.parse([("a", "INT")]))
+        save_catalog(cat, str(tmp_path))
+        assert load_catalog(str(tmp_path)).table("empty").row_count == 0
+
+    def test_missing_snapshot(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_catalog(str(tmp_path / "nothing"))
+
+    def test_missing_column_file(self, catalog, tmp_path):
+        save_catalog(catalog, str(tmp_path))
+        os.remove(tmp_path / "t" / "a.npy")
+        with pytest.raises(PersistenceError):
+            load_catalog(str(tmp_path))
+
+    def test_bad_version(self, catalog, tmp_path):
+        save_catalog(catalog, str(tmp_path))
+        manifest = tmp_path / "catalog.json"
+        manifest.write_text(manifest.read_text().replace(
+            '"version": 1', '"version": 99'))
+        with pytest.raises(PersistenceError):
+            load_catalog(str(tmp_path))
+
+    def test_load_into_existing(self, catalog, tmp_path):
+        save_catalog(catalog, str(tmp_path))
+        target = Catalog()
+        target.create_table("other", Schema.parse([("x", "INT")]))
+        load_catalog(str(tmp_path), into=target)
+        assert target.has_table("other") and target.has_table("t")

@@ -1,0 +1,139 @@
+"""Tests for DELETE and UPDATE statements."""
+
+import pytest
+
+from repro.core.engine import DataCellEngine
+from repro.errors import BindError, CatalogError, KernelError
+
+
+@pytest.fixture
+def db():
+    engine = DataCellEngine()
+    engine.execute("CREATE TABLE emp (id INT, dept VARCHAR(8), "
+                   "salary FLOAT)")
+    engine.execute("INSERT INTO emp VALUES "
+                   "(1,'a',100.0), (2,'a',200.0), (3,'b',50.0), "
+                   "(4,NULL,NULL), (5,'b',150.0)")
+    return engine
+
+
+class TestDelete:
+    def test_delete_where(self, db):
+        assert db.execute("DELETE FROM emp WHERE salary < 120") == 2
+        assert db.query("SELECT id FROM emp ORDER BY id").to_rows() == \
+            [(2,), (4,), (5,)]
+
+    def test_delete_all(self, db):
+        assert db.execute("DELETE FROM emp") == 5
+        assert db.query("SELECT count(*) FROM emp").to_rows() == [(0,)]
+
+    def test_delete_none_matching(self, db):
+        assert db.execute("DELETE FROM emp WHERE id > 100") == 0
+
+    def test_null_rows_not_matched_by_comparison(self, db):
+        db.execute("DELETE FROM emp WHERE salary >= 0")
+        ids = [r[0] for r in db.query("SELECT id FROM emp").to_rows()]
+        assert ids == [4]
+
+    def test_delete_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("DELETE FROM nope")
+
+    def test_delete_with_in_predicate(self, db):
+        assert db.execute(
+            "DELETE FROM emp WHERE dept IN ('a')") == 2
+
+    def test_index_survives_delete(self, db):
+        db.execute("CREATE INDEX ON emp (id)")
+        db.execute("DELETE FROM emp WHERE id = 1")
+        table = db.catalog.table("emp")
+        assert table.index_lookup("id", 2).tolist() == [0]
+
+
+class TestUpdate:
+    def test_update_constant(self, db):
+        assert db.execute(
+            "UPDATE emp SET salary = 0 WHERE dept = 'b'") == 2
+        rows = db.query("SELECT id, salary FROM emp "
+                        "WHERE dept = 'b' ORDER BY id").to_rows()
+        assert rows == [(3, 0.0), (5, 0.0)]
+
+    def test_update_expression_references_old_values(self, db):
+        db.execute("UPDATE emp SET salary = salary * 2 WHERE id <= 2")
+        rows = db.query("SELECT salary FROM emp WHERE id <= 2 "
+                        "ORDER BY id").to_rows()
+        assert rows == [(200.0,), (400.0,)]
+
+    def test_update_all_rows(self, db):
+        assert db.execute("UPDATE emp SET dept = 'x'") == 5
+        depts = {r[0] for r in db.query(
+            "SELECT DISTINCT dept FROM emp").to_rows()}
+        assert depts == {"x"}
+
+    def test_multi_assignment_uses_pre_update_rows(self, db):
+        db.execute("CREATE TABLE p (a INT, b INT)")
+        db.execute("INSERT INTO p VALUES (1, 2)")
+        db.execute("UPDATE p SET a = b, b = a")
+        assert db.query("SELECT a, b FROM p").to_rows() == [(2, 1)]
+
+    def test_update_to_null(self, db):
+        db.execute("UPDATE emp SET dept = NULL WHERE id = 1")
+        assert db.query("SELECT dept FROM emp WHERE id = 1"
+                        ).to_rows() == [(None,)]
+
+    def test_update_coerces_int_to_float(self, db):
+        db.execute("UPDATE emp SET salary = 42 WHERE id = 3")
+        assert db.query("SELECT salary FROM emp WHERE id = 3"
+                        ).to_rows() == [(42.0,)]
+
+    def test_update_incompatible_type_rejected(self, db):
+        with pytest.raises((BindError, KernelError)):
+            db.execute("UPDATE emp SET salary = 'abc'")
+
+    def test_update_unknown_column(self, db):
+        with pytest.raises((BindError, CatalogError)):
+            db.execute("UPDATE emp SET nope = 1")
+
+    def test_index_rebuilt_after_update(self, db):
+        db.execute("CREATE INDEX ON emp (dept)")
+        db.execute("UPDATE emp SET dept = 'z' WHERE id = 1")
+        table = db.catalog.table("emp")
+        assert table.index_lookup("dept", "z").tolist() == [0]
+        assert table.index_lookup("dept", "a").tolist() == [1]
+
+    def test_standing_queries_see_updated_dimension(self, db):
+        db.execute("CREATE STREAM s (id INT)")
+        db.register_continuous(
+            "SELECT e.dept FROM s t, emp e WHERE t.id = e.id",
+            name="q", mode="reeval")
+        db.feed("s", [(1,)])
+        db.step()
+        db.execute("UPDATE emp SET dept = 'new' WHERE id = 1")
+        db.feed("s", [(1,)])
+        db.step()
+        assert db.results("q").rows() == [("a",), ("new",)]
+
+
+class TestParserForDML:
+    def test_delete_parses(self):
+        from repro.sql import ast
+        from repro.sql.parser import parse
+
+        stmt = parse("DELETE FROM t WHERE a > 1")
+        assert isinstance(stmt, ast.DeleteStmt)
+        assert stmt.table == "t" and stmt.where is not None
+
+    def test_update_parses(self):
+        from repro.sql import ast
+        from repro.sql.parser import parse
+
+        stmt = parse("UPDATE t SET a = 1, b = a + 2 WHERE c = 3")
+        assert isinstance(stmt, ast.UpdateStmt)
+        assert [c for c, _e in stmt.assignments] == ["a", "b"]
+
+    def test_update_requires_set(self):
+        from repro.errors import ParseError
+        from repro.sql.parser import parse
+
+        with pytest.raises(ParseError):
+            parse("UPDATE t a = 1")

@@ -1,0 +1,112 @@
+"""Tests for the exception hierarchy, the clocks, and the monitor's
+intermediates pane."""
+
+import time
+
+import pytest
+
+from repro import errors
+from repro.core.clock import SimulatedClock, WallClock
+from repro.errors import StreamError
+from repro.streams.source import RateSource
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_base(self):
+        for name in ("SQLError", "LexerError", "ParseError", "BindError",
+                     "TypeMismatchError", "CatalogError", "KernelError",
+                     "MALError", "StreamError", "WindowError",
+                     "SchedulerError", "FactoryError",
+                     "PersistenceError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.DataCellError)
+
+    def test_catch_all_surface(self):
+        """One except clause covers every library failure mode."""
+        from repro.core.engine import DataCellEngine
+
+        engine = DataCellEngine()
+        failures = 0
+        for bad in ("SELEKT 1;", "SELECT x FROM nope",
+                    "CREATE TABLE t (a BLOBBY)"):
+            try:
+                engine.execute(bad)
+            except errors.DataCellError:
+                failures += 1
+        assert failures == 3
+
+    def test_factory_error_carries_context(self):
+        err = errors.FactoryError("boom", "q7", cause=ValueError("x"))
+        assert err.query_name == "q7"
+        assert isinstance(err.cause, ValueError)
+
+    def test_lexer_error_position(self):
+        err = errors.LexerError("bad", position=5)
+        assert err.position == 5
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now() == 0
+
+    def test_advance(self):
+        clock = SimulatedClock(100)
+        assert clock.advance(50) == 150
+        assert clock.now() == 150
+
+    def test_no_backwards(self):
+        clock = SimulatedClock()
+        with pytest.raises(StreamError):
+            clock.advance(-1)
+        with pytest.raises(StreamError):
+            clock.set(-5)
+
+    def test_set_forward(self):
+        clock = SimulatedClock()
+        clock.set(1000)
+        assert clock.now() == 1000
+
+
+class TestWallClock:
+    def test_monotone_and_anchored(self):
+        clock = WallClock()
+        first = clock.now()
+        assert first >= 0
+        time.sleep(0.01)
+        assert clock.now() >= first
+
+
+class TestIntermediatesPane:
+    def test_incremental_caches_visible(self, engine):
+        engine.register_continuous(
+            "SELECT sid, sum(temp) FROM sensors [RANGE 8 SLIDE 4] "
+            "GROUP BY sid", name="q", mode="incremental")
+        engine.attach_source("sensors", RateSource(
+            [(i % 2, 1.0) for i in range(10)], rate=100000))
+        engine.run_until_drained()
+        pane = engine.monitor.intermediates("q")
+        assert "partial states" in pane
+        assert "basket sensors" in pane
+
+    def test_reeval_notes_no_cache(self, engine):
+        engine.register_continuous(
+            "SELECT sid FROM sensors [RANGE 8 SLIDE 4]", name="q",
+            mode="reeval")
+        pane = engine.monitor.intermediates("q")
+        assert "re-evaluation mode" in pane
+
+    def test_join_pair_cache_visible(self):
+        from repro.core.engine import DataCellEngine
+
+        engine = DataCellEngine()
+        engine.execute("CREATE STREAM a (k INT)")
+        engine.execute("CREATE STREAM b (k INT)")
+        engine.register_continuous(
+            "SELECT x.k FROM a [RANGE 4 SLIDE 2] x, b [RANGE 4 SLIDE 2]"
+            " y WHERE x.k = y.k", name="j", mode="incremental")
+        engine.feed("a", [(i,) for i in range(6)])
+        engine.feed("b", [(i,) for i in range(6)])
+        engine.step()
+        pane = engine.monitor.intermediates("j")
+        assert "join-pair cache" in pane
+        assert "slice cache" in pane

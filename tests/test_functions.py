@@ -1,0 +1,149 @@
+"""Unit tests for the scalar function registry implementations."""
+
+import pytest
+
+from repro.errors import BindError, KernelError
+from repro.mal.bat import BAT
+from repro.sql import functions as F
+from repro.storage import types as dt
+
+
+def col(dtype, values):
+    return BAT.from_values(dtype, values, coerce=True)
+
+
+def call(name, *args):
+    return F.lookup(name).impl(*args).tolist()
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert F.lookup("ABS").name == "abs"
+
+    def test_unknown(self):
+        with pytest.raises(BindError):
+            F.lookup("nope")
+
+    def test_is_aggregate(self):
+        assert F.is_aggregate("SUM")
+        assert not F.is_aggregate("abs")
+
+    def test_is_scalar(self):
+        assert F.is_scalar("round")
+        assert not F.is_scalar("sum")
+
+    def test_arity_bounds(self):
+        fn = F.lookup("round")
+        fn.check_arity(1)
+        fn.check_arity(2)
+        with pytest.raises(BindError):
+            fn.check_arity(3)
+
+    def test_aggregate_result_type(self):
+        assert F.aggregate_result_type("count", None) is dt.INT
+        assert F.aggregate_result_type("avg", dt.INT) is dt.FLOAT
+        assert F.aggregate_result_type("sum", dt.FLOAT) is dt.FLOAT
+        assert F.aggregate_result_type("min", dt.STRING) is dt.STRING
+
+    def test_aggregate_type_errors(self):
+        with pytest.raises(BindError):
+            F.aggregate_result_type("avg", dt.STRING)
+        with pytest.raises(BindError):
+            F.aggregate_result_type("sum", None)
+
+
+class TestNumeric:
+    def test_abs(self):
+        assert call("abs", col(dt.INT, [-3, None])) == [3, None]
+        assert call("abs", col(dt.FLOAT, [-1.5])) == [1.5]
+
+    def test_abs_string_rejected(self):
+        with pytest.raises(KernelError):
+            call("abs", col(dt.STRING, ["x"]))
+
+    def test_sqrt(self):
+        assert call("sqrt", col(dt.FLOAT, [4.0, None])) == [2.0, None]
+
+    def test_sqrt_negative_is_nil(self):
+        assert call("sqrt", col(dt.FLOAT, [-1.0])) == [None]
+
+    def test_ln_of_zero_is_nil(self):
+        assert call("ln", col(dt.FLOAT, [0.0])) == [None]
+
+    def test_log10(self):
+        assert call("log", col(dt.FLOAT, [100.0])) == [2.0]
+
+    def test_exp(self):
+        out = call("exp", col(dt.FLOAT, [0.0]))
+        assert out == [1.0]
+
+    def test_floor_ceil(self):
+        assert call("floor", col(dt.FLOAT, [1.7, None])) == [1, None]
+        assert call("ceil", col(dt.FLOAT, [1.2])) == [2]
+        assert call("ceiling", col(dt.FLOAT, [1.2])) == [2]
+
+    def test_sign(self):
+        assert call("sign", col(dt.INT, [-5, 0, 5])) == [-1, 0, 1]
+
+    def test_round_digits(self):
+        assert call("round", col(dt.FLOAT, [1.256]),
+                    col(dt.INT, [2])) == [1.26]
+
+    def test_round_default(self):
+        assert call("round", col(dt.FLOAT, [1.6, None])) == [2.0, None]
+
+    def test_power(self):
+        assert call("power", col(dt.FLOAT, [2.0, None]),
+                    col(dt.FLOAT, [3.0, 1.0])) == [8.0, None]
+
+    def test_mod(self):
+        assert call("mod", col(dt.INT, [7]), col(dt.INT, [3])) == [1]
+
+
+class TestStrings:
+    def test_length(self):
+        assert call("length", col(dt.STRING, ["abc", None])) == [3, None]
+
+    def test_lower_upper_trim(self):
+        assert call("lower", col(dt.STRING, ["AbC"])) == ["abc"]
+        assert call("upper", col(dt.STRING, ["AbC"])) == ["ABC"]
+        assert call("trim", col(dt.STRING, ["  x  "])) == ["x"]
+
+    def test_string_fn_rejects_numbers(self):
+        with pytest.raises(KernelError):
+            call("length", col(dt.INT, [1]))
+
+    def test_substr(self):
+        s = col(dt.STRING, ["hello", None])
+        assert call("substr", s, col(dt.INT, [2, 1])) == ["ello", None]
+
+    def test_substr_with_length(self):
+        s = col(dt.STRING, ["hello"])
+        assert call("substr", s, col(dt.INT, [2]),
+                    col(dt.INT, [3])) == ["ell"]
+
+    def test_concat_casts(self):
+        assert call("concat", col(dt.STRING, ["x"]),
+                    col(dt.INT, [1])) == ["x1"]
+
+
+class TestNullFunctions:
+    def test_coalesce_two(self):
+        assert call("coalesce", col(dt.INT, [None, 1]),
+                    col(dt.INT, [2, 3])) == [2, 1]
+
+    def test_coalesce_three(self):
+        assert call("coalesce", col(dt.INT, [None]),
+                    col(dt.INT, [None]), col(dt.INT, [7])) == [7]
+
+    def test_coalesce_type_widening(self):
+        types = [dt.INT, dt.FLOAT]
+        assert F.lookup("coalesce").result_type(types) is dt.FLOAT
+
+    def test_nullif_match_is_null(self):
+        assert call("nullif", col(dt.INT, [1, 2]),
+                    col(dt.INT, [1, 99])) == [None, 2]
+
+    def test_nullif_strings(self):
+        assert call("nullif", col(dt.STRING, ["a", "b"]),
+                    col(dt.STRING, ["a", "x"])) == [None, "b"]

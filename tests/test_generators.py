@@ -1,0 +1,84 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.streams import generators as G
+
+
+class TestSensorRows:
+    def test_shape_and_types(self):
+        rows = G.sensor_rows(100, sensors=8, rooms=4)
+        assert len(rows) == 100
+        for sid, room, temp, humidity in rows:
+            assert 0 <= sid < 8
+            assert room == sid % 4
+            assert temp is None or isinstance(temp, float)
+            assert 30.0 <= humidity <= 70.0
+
+    def test_deterministic_by_seed(self):
+        assert G.sensor_rows(50, seed=1) == G.sensor_rows(50, seed=1)
+        assert G.sensor_rows(50, seed=1) != G.sensor_rows(50, seed=2)
+
+    def test_contains_nulls(self):
+        rows = G.sensor_rows(5000)
+        assert any(r[2] is None for r in rows)
+
+    def test_temperatures_plausible(self):
+        rows = G.sensor_rows(2000)
+        temps = [r[2] for r in rows if r[2] is not None]
+        assert all(0.0 < t < 40.0 for t in temps)
+
+
+class TestWeblogRows:
+    def test_shape(self):
+        rows = G.weblog_rows(200)
+        for client, url, status, size, latency in rows:
+            assert url.startswith("/")
+            assert status in (200, 301, 404, 500)
+            assert size >= 200 and latency >= 1.0
+
+    def test_popularity_skew(self):
+        rows = G.weblog_rows(5000)
+        from collections import Counter
+
+        counts = Counter(r[1] for r in rows)
+        most = counts.most_common()
+        assert most[0][1] > 3 * most[-1][1]
+
+    def test_errors_are_slow(self):
+        rows = G.weblog_rows(20000)
+        ok = [r[4] for r in rows if r[2] == 200]
+        err = [r[4] for r in rows if r[2] == 500]
+        assert err and sum(err) / len(err) > sum(ok) / len(ok)
+
+
+class TestNetflowRows:
+    def test_shape(self):
+        rows = G.netflow_rows(200)
+        for src, dst, port, proto, packets, size in rows:
+            assert proto in (6, 17)
+            assert packets >= 1 and size > 0
+
+    def test_attackers_present_and_fanout(self):
+        rows = G.netflow_rows(5000, attackers=2)
+        attacker_rows = [r for r in rows if r[0] >= 10_000]
+        assert attacker_rows
+        # scan-shaped: many distinct low ports
+        ports = {r[2] for r in attacker_rows}
+        assert len(ports) > 50
+        assert all(p < 1024 for p in ports)
+
+
+class TestTickRows:
+    def test_prices_positive_and_walk(self):
+        rows = G.tick_rows(500)
+        assert all(r[1] > 0 for r in rows)
+        symbols = {r[0] for r in rows}
+        assert symbols == {"ACME", "GLOB", "INIT", "UMBR", "WAYN"}
+
+
+class TestRooms:
+    def test_reference_rooms(self):
+        rooms = G.reference_rooms(4)
+        assert len(rooms) == 4
+        assert rooms[0][1] == "lab"

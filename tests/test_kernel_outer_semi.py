@@ -1,0 +1,136 @@
+"""Unit tests for the outer/semi/anti join kernel primitives and the
+variance moments helper."""
+
+import numpy as np
+import pytest
+
+from repro.mal import kernel as K
+from repro.mal.bat import BAT
+from repro.storage import types as dt
+
+
+class TestLeftOuterPairs:
+    def test_unmatched_get_minus_one(self):
+        l = BAT.from_values(dt.INT, [1, 2, 3])
+        r = BAT.from_values(dt.INT, [2])
+        lp, rp = K.left_outer_pairs(l, r)
+        assert list(zip(lp.tolist(), rp.tolist())) == \
+            [(0, -1), (1, 0), (2, -1)]
+
+    def test_every_left_position_present(self):
+        l = BAT.from_values(dt.INT, [5, 5, None, 7], coerce=True)
+        r = BAT.from_values(dt.INT, [5, 9])
+        lp, rp = K.left_outer_pairs(l, r)
+        assert sorted(set(lp.tolist())) == [0, 1, 2, 3]
+
+    def test_duplicates_multiply_matches(self):
+        l = BAT.from_values(dt.INT, [1])
+        r = BAT.from_values(dt.INT, [1, 1])
+        lp, rp = K.left_outer_pairs(l, r)
+        assert len(lp) == 2 and -1 not in rp.tolist()
+
+    def test_nil_left_is_unmatched(self):
+        l = BAT.from_values(dt.INT, [None], coerce=True)
+        r = BAT.from_values(dt.INT, [None], coerce=True)
+        lp, rp = K.left_outer_pairs(l, r)
+        assert rp.tolist() == [-1]
+
+    def test_empty_right(self):
+        l = BAT.from_values(dt.INT, [1, 2])
+        r = BAT.from_values(dt.INT, [])
+        lp, rp = K.left_outer_pairs(l, r)
+        assert rp.tolist() == [-1, -1]
+
+
+class TestFetchOuter:
+    def test_minus_one_becomes_nil(self):
+        bat = BAT.from_values(dt.INT, [10, 20])
+        out = K.fetch_outer(bat, np.array([1, -1, 0], dtype=np.int64))
+        assert out.tolist() == [20, None, 10]
+
+    def test_string_column(self):
+        bat = BAT.from_values(dt.STRING, ["x", "y"], coerce=True)
+        out = K.fetch_outer(bat, np.array([-1, 1], dtype=np.int64))
+        assert out.tolist() == [None, "y"]
+
+    def test_no_missing_fast_path(self):
+        bat = BAT.from_values(dt.FLOAT, [1.0, 2.0])
+        out = K.fetch_outer(bat, np.array([0, 1], dtype=np.int64))
+        assert out.tolist() == [1.0, 2.0]
+
+    def test_empty_candidates(self):
+        bat = BAT.from_values(dt.INT, [1])
+        assert K.fetch_outer(bat, np.empty(0, dtype=np.int64)
+                             ).tolist() == []
+
+
+class TestSemiPairs:
+    def test_semi(self):
+        l = BAT.from_values(dt.INT, [1, 2, 3, 2])
+        r = BAT.from_values(dt.INT, [2, 9])
+        assert K.semi_pairs(l, r).tolist() == [1, 3]
+
+    def test_anti(self):
+        l = BAT.from_values(dt.INT, [1, 2, 3])
+        r = BAT.from_values(dt.INT, [2])
+        assert K.semi_pairs(l, r, anti=True).tolist() == [0, 2]
+
+    def test_nil_left_never_qualifies(self):
+        l = BAT.from_values(dt.INT, [None, 1], coerce=True)
+        r = BAT.from_values(dt.INT, [1])
+        assert K.semi_pairs(l, r).tolist() == [1]
+        assert K.semi_pairs(l, r, anti=True).tolist() == []
+
+    def test_anti_with_nil_right_empties(self):
+        l = BAT.from_values(dt.INT, [1, 2])
+        r = BAT.from_values(dt.INT, [5, None], coerce=True)
+        assert K.semi_pairs(l, r, anti=True).tolist() == []
+        # semi is unaffected by the right nil
+        assert K.semi_pairs(l, r).tolist() == []
+
+    def test_strings(self):
+        l = BAT.from_values(dt.STRING, ["a", "b", None], coerce=True)
+        r = BAT.from_values(dt.STRING, ["b"], coerce=True)
+        assert K.semi_pairs(l, r).tolist() == [1]
+
+    def test_empty_right_semi_vs_anti(self):
+        l = BAT.from_values(dt.INT, [1, 2])
+        r = BAT.from_values(dt.INT, [])
+        assert K.semi_pairs(l, r).tolist() == []
+        assert K.semi_pairs(l, r, anti=True).tolist() == [0, 1]
+
+
+class TestVarianceMoments:
+    def test_matches_statistics(self):
+        import statistics
+
+        values = [1.0, 4.0, 9.0, 16.0]
+        var = K.variance_from_moments(
+            len(values), sum(values), sum(v * v for v in values))
+        assert var == pytest.approx(statistics.variance(values))
+
+    def test_below_two_samples(self):
+        assert K.variance_from_moments(1, 5.0, 25.0) is None
+        assert K.variance_from_moments(0, 0.0, 0.0) is None
+
+    def test_constant_series_clamped_to_zero(self):
+        # numerically, sumsq - sum^2/n can dip below zero
+        var = K.variance_from_moments(3, 3.0, 3.0000000000000004)
+        assert var == 0.0 or var > 0
+
+    def test_grouped_variance_matches_numpy(self):
+        rng = np.random.RandomState(3)
+        values = rng.uniform(0, 10, 30)
+        gids = rng.randint(0, 3, 30)
+        bat = BAT.from_array(dt.FLOAT, values)
+        out = K.agg_variance(bat, gids.astype(np.int64), 3).tolist()
+        for g in range(3):
+            member = values[gids == g]
+            assert out[g] == pytest.approx(np.var(member, ddof=1))
+
+    def test_stddev_is_sqrt_of_variance(self):
+        bat = BAT.from_array(dt.FLOAT, np.array([1.0, 2.0, 3.0]))
+        gids = np.zeros(3, dtype=np.int64)
+        var = K.agg_variance(bat, gids, 1).tolist()[0]
+        sd = K.agg_stddev(bat, gids, 1).tolist()[0]
+        assert sd == pytest.approx(var ** 0.5)

@@ -1,0 +1,194 @@
+"""Unit tests for kernel selections (candidate-list producers)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.mal import kernel as K
+from repro.mal.bat import BAT
+from repro.storage import types as dt
+
+
+@pytest.fixture
+def ints():
+    return BAT.from_values(dt.INT, [5, 2, None, 9, 2, 7], coerce=True)
+
+
+@pytest.fixture
+def floats():
+    return BAT.from_values(dt.FLOAT, [1.5, None, 3.5, -2.0], coerce=True)
+
+
+@pytest.fixture
+def strings():
+    return BAT.from_values(dt.STRING,
+                           ["apple", "banana", None, "apricot", "fig"],
+                           coerce=True)
+
+
+class TestSelectRange:
+    def test_closed_range(self, ints):
+        assert K.select_range(ints, 2, 7).tolist() == [0, 1, 4, 5]
+
+    def test_open_low(self, ints):
+        assert K.select_range(ints, 2, 7,
+                              low_inclusive=False).tolist() == [0, 5]
+
+    def test_open_high(self, ints):
+        assert K.select_range(ints, 2, 7,
+                              high_inclusive=False).tolist() == [0, 1, 4]
+
+    def test_unbounded_low(self, ints):
+        assert K.select_range(ints, None, 5).tolist() == [0, 1, 4]
+
+    def test_unbounded_high(self, ints):
+        assert K.select_range(ints, 7, None).tolist() == [3, 5]
+
+    def test_unbounded_both_excludes_nil(self, ints):
+        assert K.select_range(ints, None, None).tolist() == [0, 1, 3, 4, 5]
+
+    def test_anti(self, ints):
+        # anti of [2,7] keeps values outside, never nil
+        assert K.select_range(ints, 2, 7, anti=True).tolist() == [3]
+
+    def test_with_candidates(self, ints):
+        cand = np.array([0, 3, 4], dtype=np.int64)
+        assert K.select_range(ints, 2, 7, cand=cand).tolist() == [0, 4]
+
+    def test_float_range(self, floats):
+        assert K.select_range(floats, 0.0, 3.5).tolist() == [0, 2]
+
+    def test_string_range(self, strings):
+        assert K.select_range(strings, "apple",
+                              "banana").tolist() == [0, 1, 3]
+
+
+class TestThetaSelect:
+    @pytest.mark.parametrize("op,expected", [
+        ("==", [1, 4]), ("!=", [0, 3, 5]), ("<", []),
+        ("<=", [1, 4]), (">", [0, 3, 5]), (">=", [0, 1, 3, 4, 5]),
+    ])
+    def test_ops(self, ints, op, expected):
+        assert K.theta_select(ints, op, 2).tolist() == expected
+
+    def test_nil_constant_selects_nothing(self, ints):
+        assert K.theta_select(ints, "==", None).tolist() == []
+
+    def test_bad_operator(self, ints):
+        with pytest.raises(KernelError):
+            K.theta_select(ints, "~", 2)
+
+    def test_with_candidates(self, ints):
+        cand = np.array([1, 3], dtype=np.int64)
+        assert K.theta_select(ints, ">", 1, cand=cand).tolist() == [1, 3]
+
+    def test_string_equality(self, strings):
+        assert K.theta_select(strings, "==", "fig").tolist() == [4]
+
+
+class TestMaskSelect:
+    def test_keeps_true_only(self):
+        mask = BAT.from_array(dt.BOOLEAN,
+                              np.array([1, 0, -1, 1], dtype=np.int8))
+        assert K.mask_select(mask).tolist() == [0, 3]
+
+    def test_requires_boolean(self, ints):
+        with pytest.raises(KernelError):
+            K.mask_select(ints)
+
+    def test_with_candidates(self):
+        mask = BAT.from_array(dt.BOOLEAN,
+                              np.array([1, 1], dtype=np.int8))
+        cand = np.array([5, 9], dtype=np.int64)
+        assert K.mask_select(mask, cand).tolist() == [5, 9]
+
+
+class TestNilSelect:
+    def test_is_null(self, ints):
+        assert K.nil_select(ints).tolist() == [2]
+
+    def test_is_not_null(self, ints):
+        assert K.nil_select(ints, anti=True).tolist() == [0, 1, 3, 4, 5]
+
+    def test_strings(self, strings):
+        assert K.nil_select(strings).tolist() == [2]
+
+
+class TestInSelect:
+    def test_numeric(self, ints):
+        assert K.in_select(ints, [2, 9]).tolist() == [1, 3, 4]
+
+    def test_anti_excludes_nil(self, ints):
+        assert K.in_select(ints, [2, 9], anti=True).tolist() == [0, 5]
+
+    def test_strings(self, strings):
+        assert K.in_select(strings, ["fig", "apple"]).tolist() == [0, 4]
+
+    def test_none_items_ignored(self, ints):
+        assert K.in_select(ints, [2, None]).tolist() == [1, 4]
+
+    def test_empty_needles(self, ints):
+        assert K.in_select(ints, []).tolist() == []
+
+
+class TestLikeSelect:
+    def test_prefix(self, strings):
+        assert K.like_select(strings, "ap%").tolist() == [0, 3]
+
+    def test_underscore(self, strings):
+        assert K.like_select(strings, "f_g").tolist() == [4]
+
+    def test_contains(self, strings):
+        assert K.like_select(strings, "%an%").tolist() == [1]
+
+    def test_anti(self, strings):
+        assert K.like_select(strings, "ap%", anti=True).tolist() == [1, 4]
+
+    def test_requires_string(self, ints):
+        with pytest.raises(KernelError):
+            K.like_select(ints, "a%")
+
+    def test_regex_metachars_escaped(self):
+        bat = BAT.from_values(dt.STRING, ["a.c", "abc"], coerce=True)
+        assert K.like_select(bat, "a.c").tolist() == [0]
+
+    def test_full_match_required(self, strings):
+        # 'fig' should not match pattern 'f'
+        assert K.like_select(strings, "f").tolist() == []
+
+
+class TestFetch:
+    def test_fetch_values(self, ints):
+        cand = np.array([3, 5], dtype=np.int64)
+        assert K.fetch(ints, cand).tolist() == [9, 7]
+
+    def test_fetch_preserves_nil(self, ints):
+        cand = np.array([2], dtype=np.int64)
+        assert K.fetch(ints, cand).tolist() == [None]
+
+    def test_const_column(self):
+        out = K.const_column(dt.INT, 7, 3)
+        assert out.tolist() == [7, 7, 7]
+
+    def test_const_column_nil(self):
+        assert K.const_column(dt.FLOAT, None, 2).tolist() == [None, None]
+
+    def test_const_column_string(self):
+        assert K.const_column(dt.STRING, "x", 2).tolist() == ["x", "x"]
+
+
+class TestCandidateAlgebra:
+    def test_intersect(self):
+        a = np.array([1, 3, 5], dtype=np.int64)
+        b = np.array([3, 4, 5], dtype=np.int64)
+        assert K.cand_intersect(a, b).tolist() == [3, 5]
+
+    def test_union(self):
+        a = np.array([1, 3], dtype=np.int64)
+        b = np.array([2, 3], dtype=np.int64)
+        assert K.cand_union(a, b).tolist() == [1, 2, 3]
+
+    def test_difference(self):
+        a = np.array([1, 2, 3], dtype=np.int64)
+        b = np.array([2], dtype=np.int64)
+        assert K.cand_difference(a, b).tolist() == [1, 3]

@@ -1,0 +1,164 @@
+"""Tests for the scaled Linear Road substrate: generator, oracle
+computations, and the DataCell queries over it."""
+
+import pytest
+
+from repro.core.engine import DataCellEngine
+from repro.streams.linearroad import (POSITION_SCHEMA, Accident,
+                                      LinearRoadConfig,
+                                      LinearRoadGenerator,
+                                      detect_stopped_cars, expected_tolls,
+                                      reference_segment_stats, toll)
+from repro.streams.source import ListSource
+
+
+@pytest.fixture(scope="module")
+def run():
+    gen = LinearRoadGenerator(LinearRoadConfig(cars=60, duration_s=90,
+                                               seed=5))
+    events = gen.events()
+    return gen, events
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = LinearRoadGenerator(LinearRoadConfig(seed=3)).events()
+        b = LinearRoadGenerator(LinearRoadConfig(seed=3)).events()
+        assert a == b
+
+    def test_report_shape(self, run):
+        _gen, events = run
+        ts_prev = 0
+        for ts, (car, speed, xway, lane, direction, seg, pos) in events:
+            assert ts >= ts_prev
+            ts_prev = ts
+            assert speed >= 0.0
+            assert direction in (0, 1)
+            assert 0 <= seg < 10
+            assert 0 <= lane <= 2
+
+    def test_accidents_recorded(self, run):
+        gen, events = run
+        assert gen.accidents
+        for acc in gen.accidents:
+            assert acc.end_ms > acc.start_ms
+
+    def test_accident_cars_emit_zero_speed(self, run):
+        gen, events = run
+        acc = gen.accidents[0]
+        stopped = [row for ts, row in events
+                   if acc.start_ms <= ts < acc.end_ms
+                   and row[2] == acc.xway and row[4] == acc.direction
+                   and row[5] == acc.seg and row[1] == 0.0]
+        assert stopped
+
+    def test_congestion_near_accident(self, run):
+        """Cars upstream of an active accident crawl (speed <= 15)."""
+        gen, events = run
+        acc = gen.accidents[0]
+        crawl = [row[1] for ts, row in events
+                 if acc.start_ms <= ts < acc.end_ms
+                 and row[2] == acc.xway and row[4] == acc.direction
+                 and row[5] == acc.seg and 0 < row[1]]
+        assert crawl and max(crawl) <= 15.0
+
+    def test_timescale_compresses(self):
+        slow = LinearRoadConfig(timescale=1.0)
+        fast = LinearRoadConfig(timescale=0.1)
+        assert fast.scale_ms(10) == slow.scale_ms(10) // 10
+        assert fast.response_constraint_ms == 500
+
+
+class TestTollFormula:
+    def test_free_flow_no_toll(self):
+        assert toll(60.0, 100, accident=False) == 0
+
+    def test_congested_toll(self):
+        assert toll(20.0, 80, accident=False) == 2 * (80 - 50) ** 2
+
+    def test_accident_suspends_toll(self):
+        assert toll(20.0, 80, accident=True) == 0
+
+    def test_few_cars_no_toll(self):
+        assert toll(20.0, 10, accident=False) == 0
+
+    def test_custom_threshold(self):
+        assert toll(20.0, 15, accident=False, car_threshold=10) == 50
+
+
+class TestOracles:
+    def test_reference_stats_window_math(self):
+        events = [(0, (1, 10.0, 0, 0, 0, 2, 0)),
+                  (500, (2, 30.0, 0, 0, 0, 2, 0)),
+                  (1500, (1, 50.0, 0, 0, 0, 3, 0))]
+        stats = reference_segment_stats(events, 1000, 1000)
+        assert stats[0][0] == 1000
+        assert stats[0][1][(0, 0, 2)] == (20.0, 2)
+        assert stats[1][1][(0, 0, 3)] == (50.0, 1)
+
+    def test_distinct_cars_counted_once(self):
+        events = [(0, (1, 10.0, 0, 0, 0, 2, 0)),
+                  (100, (1, 20.0, 0, 0, 0, 2, 50))]
+        stats = reference_segment_stats(events, 1000, 1000)
+        assert stats[0][1][(0, 0, 2)][1] == 1
+
+    def test_detect_stopped_cars(self):
+        events = [(i * 1000, (7, 0.0, 0, 0, 0, 1, 500))
+                  for i in range(4)]
+        detections = detect_stopped_cars(events)
+        assert detections == [(3000, 7, (0, 0, 1))]
+
+    def test_moving_car_not_detected(self):
+        events = [(i * 1000, (7, 10.0, 0, 0, 0, 1, 500 + i))
+                  for i in range(6)]
+        assert detect_stopped_cars(events) == []
+
+    def test_expected_tolls_blocked_by_accident(self):
+        stats = [(1000, {(0, 0, 2): (20.0, 60)})]
+        acc = Accident(0, 0, 4, 0, 5000)  # 2 segments downstream
+        tolls = expected_tolls(stats, [acc])
+        assert tolls[0][1][(0, 0, 2)] == 0
+        tolls = expected_tolls(stats, [])
+        assert tolls[0][1][(0, 0, 2)] == 200
+
+
+class TestDataCellIntegration:
+    def test_segment_stats_query_matches_oracle(self, run):
+        gen, events = run
+        engine = DataCellEngine()
+        engine.execute(POSITION_SCHEMA)
+        q = engine.register_continuous(
+            "SELECT xway, dir, seg, avg(speed) lav, count(*) n "
+            "FROM position [RANGE 30 SECONDS SLIDE 30 SECONDS] "
+            "GROUP BY xway, dir, seg", name="segstats")
+        engine.attach_source("position", ListSource(events))
+        engine.run_for(gen.config.scale_ms(gen.config.duration_s) + 1,
+                       step_ms=500)
+        assert not engine.scheduler.failed
+        oracle = reference_segment_stats(events, 30000, 30000)
+        batches = engine.results("segstats").batches
+        assert len(batches) >= len(oracle) - 1
+        for (t, rel), (ot, expected) in zip(batches, oracle):
+            assert t == ot
+            got = {(x, d, s): (lav, n)
+                   for x, d, s, lav, n in rel.to_rows()}
+            assert set(got) == set(expected)
+            for key, (lav, _distinct) in expected.items():
+                assert got[key][0] == pytest.approx(lav)
+
+    def test_stopped_car_query_fires(self, run):
+        gen, events = run
+        engine = DataCellEngine()
+        engine.execute(POSITION_SCHEMA)
+        q = engine.register_continuous(
+            "SELECT car, count(*) c FROM position "
+            "[RANGE 12 SECONDS SLIDE 3 SECONDS] WHERE speed = 0 "
+            "GROUP BY car HAVING count(*) >= 4", name="stopped")
+        engine.attach_source("position", ListSource(events))
+        engine.run_for(gen.config.scale_ms(gen.config.duration_s) + 1,
+                       step_ms=500)
+        assert not engine.scheduler.failed
+        detected = {row[0] for row in engine.results("stopped").rows()}
+        oracle = {car for _t, car, _loc in detect_stopped_cars(events)}
+        # every oracle detection must be found by the standing query
+        assert oracle <= detected

@@ -1,0 +1,109 @@
+"""Tests for the live (wall-clock, threaded) runtime mode."""
+
+import time
+
+import pytest
+
+from repro.core.clock import WallClock
+from repro.core.engine import DataCellEngine
+from repro.core.live import LiveRunner
+from repro.errors import StreamError
+from repro.streams.source import RateSource
+
+
+def live_engine():
+    engine = DataCellEngine(clock=WallClock())
+    engine.execute("CREATE STREAM s (k INT, v FLOAT)")
+    return engine
+
+
+class TestLiveRunner:
+    def test_requires_wall_clock(self):
+        engine = DataCellEngine()  # simulated clock
+        with pytest.raises(StreamError):
+            LiveRunner(engine)
+
+    def test_end_to_end_delivery(self):
+        engine = live_engine()
+        engine.register_continuous("SELECT k, v FROM s WHERE v > 0.5",
+                                   name="q")
+        runner = LiveRunner(engine)
+        rows = [(i, float(i % 2)) for i in range(40)]
+        runner.attach("s", RateSource(rows, rate=2000))
+        runner.start()
+        assert runner.wait_drained(timeout_s=5.0)
+        runner.stop()
+        got = engine.results("q").rows()
+        assert len(got) == 20
+        assert all(v == 1.0 for _k, v in got)
+        assert not engine.scheduler.failed
+
+    def test_windowed_query_live(self):
+        engine = live_engine()
+        engine.register_continuous(
+            "SELECT count(*) FROM s [RANGE 10]", name="q",
+            mode="incremental")
+        runner = LiveRunner(engine)
+        runner.attach("s", RateSource([(i, 0.0) for i in range(30)],
+                                      rate=3000))
+        with runner:
+            assert runner.wait_drained(timeout_s=5.0)
+        assert engine.results("q").rows() == [(10,), (10,), (10,)]
+
+    def test_two_streams_concurrent(self):
+        engine = live_engine()
+        engine.execute("CREATE STREAM s2 (k INT, v FLOAT)")
+        engine.register_continuous("SELECT k FROM s", name="a")
+        engine.register_continuous("SELECT k FROM s2", name="b")
+        runner = LiveRunner(engine)
+        runner.attach("s", RateSource([(i, 0.0) for i in range(25)],
+                                      rate=2500))
+        runner.attach("s2", RateSource([(i, 0.0) for i in range(25)],
+                                       rate=2500))
+        runner.start()
+        assert runner.wait_drained(timeout_s=5.0)
+        runner.stop()
+        assert len(engine.results("a").rows()) == 25
+        assert len(engine.results("b").rows()) == 25
+
+    def test_attach_after_start_rejected(self):
+        engine = live_engine()
+        runner = LiveRunner(engine)
+        runner.start()
+        try:
+            with pytest.raises(StreamError):
+                runner.attach("s", RateSource([(1, 0.0)], rate=10))
+        finally:
+            runner.stop()
+
+    def test_stop_idempotent(self):
+        engine = live_engine()
+        runner = LiveRunner(engine)
+        runner.start()
+        runner.stop()
+        runner.stop()  # second stop is a no-op
+
+    def test_double_start_rejected(self):
+        engine = live_engine()
+        runner = LiveRunner(engine)
+        runner.start()
+        try:
+            with pytest.raises(StreamError):
+                runner.start()
+        finally:
+            runner.stop()
+
+    def test_conservation_under_concurrency(self):
+        engine = live_engine()
+        engine.register_continuous("SELECT k FROM s", name="q")
+        runner = LiveRunner(engine)
+        runner.attach("s", RateSource([(i, 0.0) for i in range(200)],
+                                      rate=20000))
+        runner.start()
+        assert runner.wait_drained(timeout_s=5.0)
+        runner.stop()
+        basket = engine.basket("s")
+        assert basket.total_in == 200
+        assert basket.total_in == basket.total_dropped + len(basket)
+        rows = engine.results("q").rows()
+        assert [k for k, in rows] == list(range(200))

@@ -1,0 +1,188 @@
+"""Unit tests for logical plan construction."""
+
+import pytest
+
+from repro.errors import BindError, CatalogError
+from repro.sql.parser import parse
+from repro.sql.plan import (AggregateNode, DistinctNode, FilterNode,
+                            JoinNode, LimitNode, ProjectNode, ScanNode,
+                            SortNode, StreamScanNode, find_stream_scans,
+                            walk_plan)
+from repro.sql.planner import Planner
+from repro.storage import Schema
+from repro.storage.catalog import Catalog
+
+
+@pytest.fixture
+def catalog(emp_catalog):
+    emp_catalog.create_stream("s", Schema.parse(
+        [("k", "INT"), ("v", "FLOAT")]))
+    return emp_catalog
+
+
+def plan(catalog, sql):
+    return Planner(catalog).plan_select(parse(sql))
+
+
+class TestShapes:
+    def test_simple_select(self, catalog):
+        root = plan(catalog, "SELECT id FROM emp")
+        assert isinstance(root, ProjectNode)
+        assert isinstance(root.child, ScanNode)
+
+    def test_where_filter(self, catalog):
+        root = plan(catalog, "SELECT id FROM emp WHERE salary > 1")
+        assert isinstance(root.child, FilterNode)
+
+    def test_order_below_project(self, catalog):
+        root = plan(catalog, "SELECT id FROM emp ORDER BY salary")
+        assert isinstance(root, ProjectNode)
+        assert isinstance(root.child, SortNode)
+
+    def test_limit_on_top(self, catalog):
+        root = plan(catalog, "SELECT id FROM emp LIMIT 3")
+        assert isinstance(root, LimitNode)
+        assert root.limit == 3
+
+    def test_distinct_above_project(self, catalog):
+        root = plan(catalog, "SELECT DISTINCT dept FROM emp")
+        assert isinstance(root, DistinctNode)
+        assert isinstance(root.child, ProjectNode)
+
+    def test_aggregate_node(self, catalog):
+        root = plan(catalog,
+                    "SELECT dept, count(*) FROM emp GROUP BY dept")
+        aggs = [n for n in walk_plan(root)
+                if isinstance(n, AggregateNode)]
+        assert len(aggs) == 1
+        assert aggs[0].group_names == ["emp.dept"]
+
+    def test_having_filter_above_aggregate(self, catalog):
+        root = plan(catalog, "SELECT dept FROM emp GROUP BY dept "
+                             "HAVING count(*) > 1")
+        filt = root.child
+        assert isinstance(filt, FilterNode)
+        assert isinstance(filt.child, AggregateNode)
+
+    def test_having_without_group_rejected(self, catalog):
+        with pytest.raises(BindError):
+            plan(catalog, "SELECT id FROM emp HAVING id > 1")
+
+    def test_scalar_aggregate_no_groups(self, catalog):
+        root = plan(catalog, "SELECT sum(salary) FROM emp")
+        agg = root.child
+        assert isinstance(agg, AggregateNode) and not agg.group_exprs
+
+
+class TestJoins:
+    def test_explicit_on_becomes_key(self, catalog):
+        root = plan(catalog, "SELECT e.id FROM emp e JOIN dept d "
+                             "ON e.dept = d.name")
+        join = [n for n in walk_plan(root) if isinstance(n, JoinNode)][0]
+        assert join.left_key is not None
+        assert join.left_key.sql() == "e.dept"
+
+    def test_comma_join_is_cross_before_optimizer(self, catalog):
+        root = plan(catalog, "SELECT e.id FROM emp e, dept d "
+                             "WHERE e.dept = d.name")
+        join = [n for n in walk_plan(root) if isinstance(n, JoinNode)][0]
+        assert join.left_key is None
+
+    def test_on_with_extra_condition(self, catalog):
+        root = plan(catalog, "SELECT e.id FROM emp e JOIN dept d "
+                             "ON e.dept = d.name AND d.budget > 100")
+        join = [n for n in walk_plan(root) if isinstance(n, JoinNode)][0]
+        assert join.left_key is not None
+        assert join.residual is not None
+
+    def test_three_way_join(self, catalog):
+        root = plan(catalog,
+                    "SELECT e.id FROM emp e JOIN dept d "
+                    "ON e.dept = d.name JOIN dept d2 "
+                    "ON d.city = d2.city")
+        joins = [n for n in walk_plan(root) if isinstance(n, JoinNode)]
+        assert len(joins) == 2
+
+
+class TestStarAndNames:
+    def test_star_expansion(self, catalog):
+        root = plan(catalog, "SELECT * FROM emp")
+        assert root.schema.names == ["id", "dept", "salary"]
+
+    def test_star_multi_table(self, catalog):
+        root = plan(catalog, "SELECT * FROM emp e, dept d")
+        assert len(root.schema.names) == 6
+
+    def test_duplicate_names_deduped(self, catalog):
+        root = plan(catalog, "SELECT id, id FROM emp")
+        names = root.schema.names
+        assert len(set(names)) == 2
+
+    def test_expression_names(self, catalog):
+        root = plan(catalog, "SELECT id + 1 FROM emp")
+        assert root.schema.names[0].startswith("col")
+
+
+class TestGroupByValidation:
+    def test_naked_column_rejected(self, catalog):
+        with pytest.raises(BindError, match="GROUP BY"):
+            plan(catalog, "SELECT id, count(*) FROM emp GROUP BY dept")
+
+    def test_group_expr_allowed_in_select(self, catalog):
+        root = plan(catalog,
+                    "SELECT salary * 2, count(*) FROM emp "
+                    "GROUP BY salary * 2")
+        assert isinstance(root, ProjectNode)
+
+    def test_having_column_validated(self, catalog):
+        with pytest.raises(BindError, match="HAVING"):
+            plan(catalog, "SELECT dept FROM emp GROUP BY dept "
+                          "HAVING salary > 1")
+
+    def test_duplicate_group_expr(self, catalog):
+        with pytest.raises(BindError, match="duplicate"):
+            plan(catalog, "SELECT dept FROM emp GROUP BY dept, dept")
+
+
+class TestOrderBy:
+    def test_order_by_alias(self, catalog):
+        root = plan(catalog, "SELECT salary AS pay FROM emp ORDER BY pay")
+        sort = root.child
+        assert isinstance(sort, SortNode)
+        assert sort.keys[0][0].sql() == "emp.salary"
+
+    def test_order_by_position(self, catalog):
+        root = plan(catalog, "SELECT dept, salary FROM emp ORDER BY 2")
+        assert root.child.keys[0][0].sql() == "emp.salary"
+
+    def test_order_by_position_out_of_range(self, catalog):
+        with pytest.raises(BindError):
+            plan(catalog, "SELECT dept FROM emp ORDER BY 5")
+
+    def test_order_by_aggregate(self, catalog):
+        root = plan(catalog, "SELECT dept FROM emp GROUP BY dept "
+                             "ORDER BY count(*) DESC")
+        sort = root.child
+        assert isinstance(sort, SortNode)
+        assert sort.keys[0][1] is True
+
+
+class TestStreams:
+    def test_stream_scan_node(self, catalog):
+        root = plan(catalog, "SELECT k FROM s [RANGE 10 SLIDE 5]")
+        scans = find_stream_scans(root)
+        assert len(scans) == 1
+        assert scans[0].window.size == 10
+
+    def test_window_on_table_rejected(self, catalog):
+        with pytest.raises(BindError):
+            plan(catalog, "SELECT id FROM emp [RANGE 10]")
+
+    def test_unknown_source(self, catalog):
+        with pytest.raises(CatalogError):
+            plan(catalog, "SELECT x FROM nothere")
+
+    def test_stream_table_mix(self, catalog):
+        root = plan(catalog, "SELECT s.k FROM s [RANGE 10], dept d "
+                             "WHERE s.k = d.budget")
+        assert len(find_stream_scans(root)) == 1

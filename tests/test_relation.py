@@ -1,0 +1,118 @@
+"""Unit tests for the Relation container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.mal.bat import BAT
+from repro.mal.relation import Relation
+from repro.storage import types as dt
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def rel():
+    return Relation([
+        ("a", BAT.from_values(dt.INT, [1, 2, 3])),
+        ("s", BAT.from_values(dt.STRING, ["x", None, "z"], coerce=True)),
+    ])
+
+
+class TestConstruction:
+    def test_from_rows(self):
+        schema = Schema.parse([("a", "INT"), ("b", "FLOAT")])
+        rel = Relation.from_rows(schema, [(1, 2.0), (None, None)])
+        assert rel.to_rows() == [(1, 2.0), (None, None)]
+
+    def test_from_rows_empty(self):
+        schema = Schema.parse([("a", "INT")])
+        rel = Relation.from_rows(schema, [])
+        assert rel.row_count == 0
+        assert rel.names == ["a"]
+
+    def test_empty(self):
+        schema = Schema.parse([("a", "INT"), ("b", "STRING")])
+        rel = Relation.empty(schema)
+        assert rel.row_count == 0 and rel.names == ["a", "b"]
+
+    def test_duplicate_column_rejected(self, rel):
+        with pytest.raises(KernelError):
+            rel.add("a", BAT.from_values(dt.INT, [1, 2, 3]))
+
+    def test_length_mismatch_rejected(self, rel):
+        with pytest.raises(KernelError):
+            rel.add("b", BAT.from_values(dt.INT, [1]))
+
+    def test_names_lowercased(self):
+        rel = Relation([("A", BAT.from_values(dt.INT, [1]))])
+        assert rel.names == ["a"]
+        assert rel.column("A").tolist() == [1]
+
+
+class TestAccess:
+    def test_row_count(self, rel):
+        assert len(rel) == 3 and rel.row_count == 3
+
+    def test_contains(self, rel):
+        assert "a" in rel and "missing" not in rel
+
+    def test_missing_column(self, rel):
+        with pytest.raises(KernelError):
+            rel.column("zz")
+
+    def test_schema_roundtrip(self, rel):
+        schema = rel.schema()
+        assert schema.names == ["a", "s"]
+        assert schema.types == [dt.INT, dt.STRING]
+
+    def test_row(self, rel):
+        assert rel.row(1) == (2, None)
+
+    def test_to_dict(self, rel):
+        assert rel.to_dict() == {"a": [1, 2, 3], "s": ["x", None, "z"]}
+
+
+class TestDerivation:
+    def test_take(self, rel):
+        out = rel.take(np.array([2, 0], dtype=np.int64))
+        assert out.to_rows() == [(3, "z"), (1, "x")]
+
+    def test_select_columns(self, rel):
+        out = rel.select_columns(["s"])
+        assert out.names == ["s"]
+
+    def test_renamed(self, rel):
+        out = rel.renamed(["x", "y"])
+        assert out.names == ["x", "y"]
+        assert out.column("x").tolist() == [1, 2, 3]
+
+    def test_renamed_wrong_count(self, rel):
+        with pytest.raises(KernelError):
+            rel.renamed(["only_one"])
+
+    def test_concat(self, rel):
+        both = rel.concat(rel)
+        assert both.row_count == 6
+        assert both.to_rows()[:3] == rel.to_rows()
+
+    def test_concat_name_mismatch(self, rel):
+        other = rel.renamed(["a", "t"])
+        with pytest.raises(KernelError):
+            rel.concat(other)
+
+    def test_concat_does_not_mutate(self, rel):
+        rel.concat(rel)
+        assert rel.row_count == 3
+
+    def test_slice_rows(self, rel):
+        assert rel.slice_rows(1, 3).to_rows() == [(2, None), (3, "z")]
+
+
+class TestPretty:
+    def test_header_and_null(self, rel):
+        text = rel.pretty()
+        assert "a" in text and "NULL" in text
+
+    def test_truncation_notice(self):
+        rel = Relation([("a", BAT.from_values(dt.INT, list(range(50))))])
+        assert "more rows" in rel.pretty(limit=10)

@@ -1,0 +1,87 @@
+"""Unit tests for the continuous-plan rewriter (the DataCell rewrite)."""
+
+import pytest
+
+from repro.core.rewriter import (plan_diff, rewrite_summary,
+                                 rewrite_to_continuous)
+from repro.mal.compiler import compile_plan
+from repro.sql import compile_select
+from repro.storage import Schema
+
+
+@pytest.fixture
+def catalog(emp_catalog):
+    emp_catalog.create_stream("s", Schema.parse(
+        [("k", "INT"), ("v", "FLOAT")]))
+    return emp_catalog
+
+
+def continuous(catalog, sql, name="datacell.q"):
+    prog = compile_plan(compile_select(sql, catalog))
+    return prog, rewrite_to_continuous(prog, ["s"], name)
+
+
+class TestRewrite:
+    def test_kind_becomes_factory(self, catalog):
+        _one, cont = continuous(catalog, "SELECT k FROM s [RANGE 4]")
+        assert cont.kind == "factory"
+        assert cont.pretty().startswith("factory datacell.q();")
+
+    def test_stream_binds_redirected(self, catalog):
+        one, cont = continuous(catalog,
+                               "SELECT k, v FROM s [RANGE 4 SLIDE 2]")
+        assert "basket.bind" in cont.opcodes()
+        assert not any(
+            i.opcode == "sql.bind" and i.args[0].value == "s"
+            for i in cont.instructions)
+
+    def test_table_binds_untouched(self, catalog):
+        sql = ("SELECT e.k FROM s [RANGE 4] e, dept d "
+               "WHERE e.k = d.budget")
+        one, cont = continuous(catalog, sql)
+        table_binds = [i for i in cont.instructions
+                       if i.opcode == "sql.bind"]
+        assert table_binds, "dept columns must stay sql.bind"
+        assert all(i.args[0].value == "dept" for i in table_binds)
+
+    def test_lock_drain_unlock_brackets(self, catalog):
+        _one, cont = continuous(catalog, "SELECT k FROM s [RANGE 4]")
+        ops = cont.opcodes()
+        assert ops[0] == "basket.lock"
+        assert ops[-2:] == ["basket.drain", "basket.unlock"]
+
+    def test_result_becomes_basket_emit(self, catalog):
+        _one, cont = continuous(catalog, "SELECT k FROM s [RANGE 4]")
+        assert "basket.emit" in cont.opcodes()
+        assert "sql.resultSet" not in cont.opcodes()
+
+    def test_original_program_untouched(self, catalog):
+        one, _cont = continuous(catalog, "SELECT k FROM s [RANGE 4]")
+        assert one.kind == "query"
+        assert "basket.lock" not in one.opcodes()
+
+    def test_multi_stream_brackets(self, catalog):
+        catalog.create_stream("s2", Schema.parse([("k", "INT")]))
+        prog = compile_plan(compile_select(
+            "SELECT a.k FROM s [RANGE 4] a, s2 [RANGE 4] b "
+            "WHERE a.k = b.k", catalog))
+        cont = rewrite_to_continuous(prog, ["s", "s2"])
+        assert cont.opcodes().count("basket.lock") == 2
+        assert cont.opcodes().count("basket.unlock") == 2
+
+
+class TestDiffAndSummary:
+    def test_diff_has_both_columns(self, catalog):
+        one, cont = continuous(catalog, "SELECT k FROM s [RANGE 4]")
+        diff = plan_diff(one, cont)
+        assert "-- one-time plan --" in diff
+        assert "-- continuous plan --" in diff
+        assert "basket.bind" in diff
+
+    def test_summary(self, catalog):
+        one, cont = continuous(catalog, "SELECT k, v FROM s [RANGE 4]")
+        summary = rewrite_summary(one, cont)
+        assert summary["kind"] == "factory"
+        assert summary["binds_redirected"] == 2
+        assert summary["baskets_locked"] == 1
+        assert summary["after_ops"] > summary["before_ops"]

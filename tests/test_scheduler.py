@@ -1,0 +1,184 @@
+"""Unit tests for the Petri-net scheduler."""
+
+import pytest
+
+from repro.core.basket import Basket
+from repro.core.clock import SimulatedClock, WallClock
+from repro.core.emitter import Emitter
+from repro.core.factory import FAILED, Factory
+from repro.core.receptor import Receptor
+from repro.core.scheduler import PetriNetScheduler
+from repro.errors import SchedulerError
+from repro.mal.relation import Relation
+from repro.storage import Schema
+from repro.streams.source import ListSource
+
+
+class StubFactory(Factory):
+    """Fires whenever its basket has unread tuples; consumes them all."""
+
+    def __init__(self, name, basket, fail_after=None):
+        super().__init__(name, {basket.name: basket}, Emitter(name))
+        self.basket = basket
+        self.sub = basket.subscribe(name)
+        self.fail_after = fail_after
+
+    def enabled(self, now):
+        return self.state == "running" \
+            and self.basket.next_oid > self.sub.read_upto
+
+    def _evaluate(self, now):
+        if self.fail_after is not None and self.fires >= self.fail_after:
+            raise ValueError("boom")
+        lo, hi = self.sub.read_upto, self.basket.next_oid
+        out = self.basket.relation(lo, hi)
+        self.sub.read_upto = hi
+        self.sub.release(hi)
+        self.tuples_in += out.row_count
+        return out
+
+
+@pytest.fixture
+def net():
+    clock = SimulatedClock()
+    scheduler = PetriNetScheduler(clock)
+    basket = Basket("s", Schema.parse([("k", "INT")]))
+    scheduler.add_basket(basket)
+    return scheduler, basket, clock
+
+
+class TestRegistration:
+    def test_duplicate_basket(self, net):
+        scheduler, basket, _clock = net
+        with pytest.raises(SchedulerError):
+            scheduler.add_basket(Basket("s", basket.schema))
+
+    def test_remove_factory(self, net):
+        scheduler, basket, _clock = net
+        scheduler.add_factory(StubFactory("f", basket))
+        scheduler.remove_factory("f")
+        assert scheduler.factories == []
+
+
+class TestStep:
+    def test_pump_fire_vacuum(self, net):
+        scheduler, basket, _clock = net
+        scheduler.add_receptor(Receptor(
+            "r", basket, ListSource([(0, (1,)), (0, (2,))])))
+        factory = StubFactory("f", basket)
+        scheduler.add_factory(factory)
+        out = scheduler.step()
+        assert out == {"ingested": 2, "fired": 1, "dropped": 2}
+        assert factory.rows_out == 2
+        assert len(basket) == 0
+
+    def test_nothing_to_do(self, net):
+        scheduler, _basket, _clock = net
+        assert scheduler.step() == {"ingested": 0, "fired": 0,
+                                    "dropped": 0}
+
+    def test_paused_net_is_inert(self, net):
+        scheduler, basket, _clock = net
+        scheduler.add_receptor(Receptor("r", basket,
+                                        ListSource([(0, (1,))])))
+        scheduler.paused = True
+        assert scheduler.step()["ingested"] == 0
+        scheduler.paused = False
+        assert scheduler.step()["ingested"] == 1
+
+    def test_multiple_factories_share_basket(self, net):
+        scheduler, basket, _clock = net
+        scheduler.add_receptor(Receptor("r", basket,
+                                        ListSource([(0, (1,))])))
+        f1 = StubFactory("f1", basket)
+        f2 = StubFactory("f2", basket)
+        scheduler.add_factory(f1)
+        scheduler.add_factory(f2)
+        out = scheduler.step()
+        assert out["fired"] == 2
+        # tuple dropped only after BOTH consumed it
+        assert out["dropped"] == 1
+
+    def test_failed_factory_quarantined(self, net):
+        scheduler, basket, _clock = net
+        scheduler.add_receptor(Receptor(
+            "r", basket, ListSource([(0, (1,)), (10, (2,))])))
+        bad = StubFactory("bad", basket, fail_after=0)
+        scheduler.add_factory(bad)
+        scheduler.step()
+        assert bad.state == FAILED
+        assert len(scheduler.failed) == 1
+        # the net keeps running without it
+        scheduler.clock.advance(10)
+        out = scheduler.step()
+        assert out["fired"] == 0
+        assert bad not in scheduler.enabled_transitions()
+
+
+class TestRunners:
+    def test_run_for_advances_clock(self, net):
+        scheduler, basket, clock = net
+        scheduler.add_receptor(Receptor(
+            "r", basket, ListSource([(5, (1,)), (25, (2,))])))
+        scheduler.add_factory(StubFactory("f", basket))
+        totals = scheduler.run_for(30, step_ms=10)
+        assert totals["ingested"] == 2
+        assert clock.now() == 30
+
+    def test_run_for_needs_simulated_clock(self):
+        scheduler = PetriNetScheduler(WallClock())
+        with pytest.raises(SchedulerError):
+            scheduler.run_for(10)
+
+    def test_run_for_rejects_bad_step(self, net):
+        scheduler, _basket, _clock = net
+        with pytest.raises(SchedulerError):
+            scheduler.run_for(10, step_ms=0)
+
+    def test_run_until_drained(self, net):
+        scheduler, basket, _clock = net
+        scheduler.add_receptor(Receptor(
+            "r", basket, ListSource([(0, (1,)), (1000, (2,))])))
+        factory = StubFactory("f", basket)
+        scheduler.add_factory(factory)
+        totals = scheduler.run_until_drained()
+        assert totals["ingested"] == 2
+        assert factory.fires == 2
+
+    def test_run_until_drained_skips_to_event_times(self, net):
+        scheduler, basket, clock = net
+        scheduler.add_receptor(Receptor(
+            "r", basket, ListSource([(1_000_000, (1,))])))
+        scheduler.add_factory(StubFactory("f", basket))
+        totals = scheduler.run_until_drained(max_steps=10)
+        assert totals["ingested"] == 1
+        assert clock.now() >= 1_000_000
+
+
+class TestStats:
+    def test_network_stats_shape(self, net):
+        scheduler, basket, _clock = net
+        scheduler.add_factory(StubFactory("f", basket))
+        scheduler.step()
+        stats = scheduler.network_stats()
+        assert "s" in stats["baskets"]
+        assert "f" in stats["factories"]
+        assert stats["steps"] == 1
+
+
+class TestLivelockGuard:
+    def test_nonquiescing_network_raises(self, net):
+        """A factory that is always enabled but never consumes must be
+        detected instead of hanging the step loop."""
+        scheduler, basket, _clock = net
+
+        class Greedy(StubFactory):
+            def enabled(self, now):
+                return True
+
+            def _evaluate(self, now):
+                return None
+
+        scheduler.add_factory(Greedy("greedy", basket))
+        with pytest.raises(SchedulerError, match="quiesce"):
+            scheduler.step()

@@ -1,0 +1,146 @@
+"""Unit tests for the type system and nil semantics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.storage import types as dt
+
+
+class TestLookup:
+    def test_by_name_basic(self):
+        assert dt.DataType.by_name("INT") is dt.INT
+        assert dt.DataType.by_name("float") is dt.FLOAT
+
+    @pytest.mark.parametrize("alias,expected", [
+        ("INTEGER", dt.INT), ("BIGINT", dt.INT), ("SMALLINT", dt.INT),
+        ("DOUBLE", dt.FLOAT), ("REAL", dt.FLOAT), ("DECIMAL", dt.FLOAT),
+        ("VARCHAR", dt.STRING), ("TEXT", dt.STRING), ("CHAR", dt.STRING),
+        ("BOOL", dt.BOOLEAN),
+    ])
+    def test_aliases(self, alias, expected):
+        assert dt.DataType.by_name(alias) is expected
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            dt.DataType.by_name("blob")
+
+    def test_equality_and_hash(self):
+        assert dt.INT == dt.DataType.by_name("integer")
+        assert hash(dt.INT) == hash(dt.DataType.by_name("INT"))
+        assert dt.INT != dt.FLOAT
+
+
+class TestNil:
+    def test_is_nil_none(self):
+        for t in (dt.INT, dt.FLOAT, dt.STRING, dt.BOOLEAN, dt.TIMESTAMP):
+            assert dt.is_nil(t, None)
+
+    def test_int_nil_sentinel(self):
+        assert dt.is_nil(dt.INT, dt.INT_NIL)
+        assert not dt.is_nil(dt.INT, 0)
+
+    def test_float_nil_is_nan(self):
+        assert dt.is_nil(dt.FLOAT, float("nan"))
+        assert not dt.is_nil(dt.FLOAT, 0.0)
+
+    def test_bool_nil(self):
+        assert dt.is_nil(dt.BOOLEAN, -1)
+        assert not dt.is_nil(dt.BOOLEAN, 0)
+
+    def test_nil_mask_int(self):
+        values = np.array([1, dt.INT_NIL, 3], dtype=np.int64)
+        assert dt.nil_mask(dt.INT, values).tolist() == [False, True, False]
+
+    def test_nil_mask_float(self):
+        values = np.array([1.0, np.nan], dtype=np.float64)
+        assert dt.nil_mask(dt.FLOAT, values).tolist() == [False, True]
+
+    def test_nil_mask_string(self):
+        values = np.array(["a", None], dtype=object)
+        assert dt.nil_mask(dt.STRING, values).tolist() == [False, True]
+
+
+class TestCoerce:
+    def test_none_maps_to_nil(self):
+        assert dt.coerce_value(dt.INT, None) == dt.INT_NIL
+        assert math.isnan(dt.coerce_value(dt.FLOAT, None))
+        assert dt.coerce_value(dt.STRING, None) is None
+        assert dt.coerce_value(dt.BOOLEAN, None) == -1
+
+    def test_int_accepts_integral_float(self):
+        assert dt.coerce_value(dt.INT, 3.0) == 3
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            dt.coerce_value(dt.INT, 3.5)
+
+    def test_int_accepts_bool(self):
+        assert dt.coerce_value(dt.INT, True) == 1
+
+    def test_float_widens_int(self):
+        assert dt.coerce_value(dt.FLOAT, 7) == 7.0
+
+    def test_string_rejects_number(self):
+        with pytest.raises(TypeMismatchError):
+            dt.coerce_value(dt.STRING, 1)
+
+    def test_boolean_accepts_bool_and_int01(self):
+        assert dt.coerce_value(dt.BOOLEAN, True) == 1
+        assert dt.coerce_value(dt.BOOLEAN, 0) == 0
+
+    def test_boolean_rejects_other_ints(self):
+        with pytest.raises(TypeMismatchError):
+            dt.coerce_value(dt.BOOLEAN, 2)
+
+    def test_float_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            dt.coerce_value(dt.FLOAT, "abc")
+
+
+class TestFromStorage:
+    def test_roundtrip_none(self):
+        for t in (dt.INT, dt.FLOAT, dt.STRING, dt.BOOLEAN):
+            assert dt.from_storage(t, dt.coerce_value(t, None)) is None
+
+    def test_bool_back_to_python_bool(self):
+        assert dt.from_storage(dt.BOOLEAN, np.int8(1)) is True
+        assert dt.from_storage(dt.BOOLEAN, np.int8(0)) is False
+
+    def test_numpy_scalars_become_python(self):
+        out = dt.from_storage(dt.INT, np.int64(5))
+        assert out == 5 and type(out) is int
+        out = dt.from_storage(dt.FLOAT, np.float64(5.5))
+        assert out == 5.5 and type(out) is float
+
+
+class TestCommonType:
+    def test_same(self):
+        assert dt.common_type(dt.INT, dt.INT) is dt.INT
+
+    def test_int_float_widen(self):
+        assert dt.common_type(dt.INT, dt.FLOAT) is dt.FLOAT
+        assert dt.common_type(dt.FLOAT, dt.INT) is dt.FLOAT
+
+    def test_string_int_incompatible(self):
+        with pytest.raises(TypeMismatchError):
+            dt.common_type(dt.STRING, dt.INT)
+
+
+class TestInfer:
+    @pytest.mark.parametrize("value,expected", [
+        (True, dt.BOOLEAN), (1, dt.INT), (1.5, dt.FLOAT),
+        ("x", dt.STRING),
+    ])
+    def test_infer(self, value, expected):
+        assert dt.infer_type(value) is expected
+
+    def test_bool_not_int(self):
+        # bool is a subclass of int in Python; it must stay BOOLEAN
+        assert dt.infer_type(True) is dt.BOOLEAN
+
+    def test_infer_rejects_objects(self):
+        with pytest.raises(TypeMismatchError):
+            dt.infer_type(object())
