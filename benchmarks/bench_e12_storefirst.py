@@ -115,7 +115,7 @@ def test_e12_same_answers():
     engine = DataCellEngine()
     engine.execute("CREATE STREAM sensors (sensor_id INT, room INT, "
                    "temperature FLOAT, humidity FLOAT)")
-    query = engine.register_continuous(
+    engine.register_continuous(
         DATACELL_QUERY + " ORDER BY room", mode="incremental", name="q")
     engine.attach_source("sensors",
                          RateSource(sensor_rows(total), rate=1_000_000))
@@ -139,9 +139,11 @@ def test_e12_same_answers():
                 + " ORDER BY room").to_rows())
 
     assert len(continuous) == len(polled)
+    def norm(rs):
+        return [tuple(round(v, 9) if isinstance(v, float) else v
+                      for v in r) for r in rs]
+
     for a, b in zip(continuous, polled):
-        norm = lambda rs: [tuple(round(v, 9) if isinstance(v, float)
-                                 else v for v in r) for r in rs]
         assert norm(a) == norm(b)
 
 

@@ -9,7 +9,6 @@ stream copy per query.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.workloads import SENSOR_DDL, drive, sensor_engine
 from repro.bench.harness import ResultTable
@@ -19,15 +18,23 @@ from repro.streams.source import RateSource
 
 N_ROWS = 2000
 QUERY_COUNTS = [1, 2, 4, 8, 16, 32]
+# the recycler ablation uses a larger stream ingested in bigger bursts
+# so the per-firing windows are compute-bound (tiny windows measure
+# interpreter overhead instead of the shared work the recycler removes)
+RECYCLER_ROWS = 30000
+RECYCLER_RATE = 10_000_000.0
 
 
-def run_shared(n_queries: int, nrows: int = N_ROWS):
-    engine, rows = sensor_engine(nrows)
+def run_shared(n_queries: int, nrows: int = N_ROWS,
+               recycler_enabled: bool = True,
+               rate: float = 1_000_000.0):
+    engine, rows = sensor_engine(nrows,
+                                 recycler_enabled=recycler_enabled)
     for i in range(n_queries):
         engine.register_continuous(
             f"SELECT sensor_id, temperature FROM sensors "
             f"WHERE temperature > {15 + (i % 10)}", name=f"q{i}")
-    drive(engine, "sensors", rows)
+    drive(engine, "sensors", rows, rate=rate)
     busy = sum(f.busy_seconds for f in engine.scheduler.factories)
     return engine, busy
 
@@ -66,6 +73,57 @@ def run_experiment() -> ResultTable:
         priv_scaled = priv_ingested * (n / min(n, 8))
         table.add(n, busy * 1000, per_unit, int(priv_scaled), ingested)
     return table
+
+
+def _best_shared(n_queries: int, nrows: int, recycler_enabled: bool,
+                 repeats: int = 3):
+    """Best-of-*repeats* busy time (min is the noise-robust estimator
+    for CPU-bound work on a shared machine) plus the last engine."""
+    best = float("inf")
+    engine = None
+    for _ in range(repeats):
+        engine, busy = run_shared(n_queries, nrows,
+                                  recycler_enabled=recycler_enabled,
+                                  rate=RECYCLER_RATE)
+        best = min(best, busy)
+    return engine, best
+
+
+def run_recycler_experiment(nrows: int = RECYCLER_ROWS) -> ResultTable:
+    """Shared-work ablation: identical standing-query fleet with the
+    intermediate recycler on vs off."""
+    table = ResultTable(
+        f"E2r: recycler on/off over one shared stream ({nrows} tuples)",
+        ["queries", "busy_off_ms", "busy_on_ms", "speedup",
+         "hits", "misses", "slice_hits"])
+    for n in [8, 32]:
+        _off_engine, busy_off = _best_shared(n, nrows, False)
+        on_engine, busy_on = _best_shared(n, nrows, True)
+        stats = on_engine.recycler.stats()
+        table.add(n, busy_off * 1000, busy_on * 1000,
+                  busy_off / busy_on, stats["hits"], stats["misses"],
+                  stats["slice_hits"])
+    return table
+
+
+def test_e2_recycler_speedup():
+    """Acceptance: >=2x throughput at 32 standing queries with the
+    recycler, identical emitted results, sub-linear per-query cost."""
+    off_engine, busy_off = _best_shared(32, RECYCLER_ROWS, False,
+                                        repeats=5)
+    on_engine, busy_on = _best_shared(32, RECYCLER_ROWS, True,
+                                      repeats=5)
+    stats = on_engine.recycler.stats()
+    assert stats["hits"] > 0 and stats["slice_hits"] > 0
+    for i in range(32):
+        assert on_engine.results(f"q{i}").rows() == \
+            off_engine.results(f"q{i}").rows()
+    assert busy_off / busy_on >= 2.0, \
+        f"recycler speedup {busy_off / busy_on:.2f} below 2x"
+    # per-query cost is sub-linear: 32 shared queries cost well below
+    # 32x one query's cost
+    _e1, busy_one = _best_shared(1, RECYCLER_ROWS, True)
+    assert busy_on < busy_one * 32 * 0.6
 
 
 def test_e2_report():

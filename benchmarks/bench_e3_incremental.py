@@ -71,10 +71,11 @@ def test_e3_results_identical_across_modes():
     ree = run_mode("reeval", 80, 20, nrows=800)
     inc = run_mode("incremental", 80, 20, nrows=800)
     assert len(ree["rows"]) == len(inc["rows"])
+    def norm(rows):
+        return sorted(tuple(round(v, 6) if isinstance(v, float) else v
+                            for v in row) for row in rows)
+
     for a, b in zip(ree["rows"], inc["rows"]):
-        norm = lambda rows: sorted(
-            tuple(round(v, 6) if isinstance(v, float) else v
-                  for v in row) for row in rows)
         assert norm(a) == norm(b)
 
 

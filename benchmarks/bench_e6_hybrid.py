@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from benchmarks.workloads import drive, sensor_engine
 from repro.bench.harness import ResultTable

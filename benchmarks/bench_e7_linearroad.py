@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.bench.harness import ResultTable
 from repro.core.engine import DataCellEngine

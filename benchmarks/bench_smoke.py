@@ -1,0 +1,70 @@
+"""Quick benchmark smoke run: archive E2/E9 result tables as JSON.
+
+Usage::
+
+    python benchmarks/bench_smoke.py [--quick] [--outdir DIR]
+
+Runs the two experiments the shared-work PRs track for regressions —
+E2 (standing-query scaling + recycler on/off ablation) and E9 (basket
+ingest/retention mechanics) — and writes ``BENCH_E2.json`` and
+``BENCH_E9.json`` to the repo root (or ``--outdir``). CI runs
+``--quick`` so drift is caught without a full experiment sweep;
+``repro.bench.reporting.compare_runs`` diffs two archives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+from benchmarks import bench_e2_multiquery, bench_e9_baskets
+from repro.bench.reporting import save_json
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_e2(quick: bool):
+    nrows = 6000 if quick else bench_e2_multiquery.RECYCLER_ROWS
+    scaling = bench_e2_multiquery.run_experiment()
+    ablation = bench_e2_multiquery.run_recycler_experiment(nrows)
+    return [scaling, ablation]
+
+
+def run_e9(quick: bool):
+    if quick:
+        ingest = bench_e9_baskets.ResultTable(
+            "E9a: basket ingest throughput (quick)",
+            ["batch_size", "tuples_per_s"])
+        for batch in (16, 4096):
+            ingest.add(batch, bench_e9_baskets.ingest_throughput(
+                batch, nrows=20_000))
+        return [ingest, bench_e9_baskets.run_retention_table()]
+    return bench_e9_baskets.run_experiment()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI smoke mode)")
+    parser.add_argument("--outdir", default=REPO_ROOT,
+                        help="directory for BENCH_*.json")
+    args = parser.parse_args(argv)
+
+    for name, runner in (("BENCH_E2.json", run_e2),
+                         ("BENCH_E9.json", run_e9)):
+        tables = runner(args.quick)
+        for table in tables:
+            print()
+            print(table.render())
+        path = os.path.join(args.outdir, name)
+        save_json(tables, path)
+        print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,9 +15,14 @@ ROOMS_DDL = ("CREATE TABLE rooms (room INT, name VARCHAR(16), "
 
 
 def sensor_engine(nrows: int, with_rooms: bool = False,
-                  seed: int = 42) -> Tuple[DataCellEngine, List[tuple]]:
-    """Fresh engine + sensors stream (+ optional rooms dimension)."""
-    engine = DataCellEngine()
+                  seed: int = 42,
+                  **engine_kwargs) -> Tuple[DataCellEngine, List[tuple]]:
+    """Fresh engine + sensors stream (+ optional rooms dimension).
+
+    Extra keyword arguments reach :class:`DataCellEngine` (e.g.
+    ``recycler_enabled=False`` for the shared-work ablations).
+    """
+    engine = DataCellEngine(**engine_kwargs)
     engine.execute(SENSOR_DDL)
     if with_rooms:
         from repro.streams.generators import reference_rooms

@@ -21,6 +21,7 @@ runtime:
 ``.explain x``     plan pane for a query name or SQL text
 ``.network``       the query-network pane (demo Fig. 3)
 ``.analysis``      the performance pane (demo Fig. 4)
+``.recycler``      shared-work cache counters (hits/misses/evictions)
 ``.queries``       list standing queries
 ``.help / .quit``
 =================  ====================================================
@@ -105,7 +106,7 @@ class DataCellShell:
             return
         try:
             handler(arg)
-        except DataCellError as exc:
+        except (DataCellError, ValueError) as exc:
             self._print(f"error: {exc}")
 
     def _cmd_help(self, arg: str) -> None:
@@ -209,6 +210,15 @@ class DataCellShell:
 
     def _cmd_analysis(self, arg: str) -> None:
         self._print(self.engine.monitor.analysis())
+
+    def _cmd_recycler(self, arg: str) -> None:
+        stats = self.engine.recycler.stats()
+        state = "on" if stats["enabled"] else "off"
+        self._print(f"recycler [{state}]:")
+        for key in ("hits", "misses", "slice_hits", "slice_misses",
+                    "evictions", "invalidations", "entries", "bytes",
+                    "budget_bytes"):
+            self._print(f"  {key}: {stats[key]}")
 
     def _cmd_queries(self, arg: str) -> None:
         queries = self.engine.queries()

@@ -99,10 +99,13 @@ class Basket:
                 raise StreamError(
                     f"basket {self.name}: expected {width} values, got "
                     f"{len(row)}")
+        # stage each column as a storage array outside the lock: one
+        # batch conversion per column instead of a per-row Python loop
+        staged = [dt.coerce_column(coldef.dtype, [row[i] for row in rows])
+                  for i, coldef in enumerate(self.schema.columns)]
         with self._lock:
-            for i, coldef in enumerate(self.schema.columns):
-                self._bats[coldef.name].extend(
-                    [row[i] for row in rows], coerce=True)
+            for coldef, column in zip(self.schema.columns, staged):
+                self._bats[coldef.name].extend(column)
             self._arrival.extend(np.full(len(rows), now, dtype=np.int64))
             self.total_in += len(rows)
             self.high_water = max(self.high_water, len(self))
@@ -123,6 +126,22 @@ class Basket:
         return n
 
     # -- reading ------------------------------------------------------------
+
+    def clamp_range(self, lo_oid: Optional[int],
+                    hi_oid: Optional[int]) -> tuple:
+        """Clamp an oid range to the live region (None = unbounded).
+
+        The recycler keys shared window slices on the clamped range so
+        every phrasing of the same live window maps to one cache entry.
+        """
+        with self._lock:
+            lo = self.first_oid if lo_oid is None else max(lo_oid,
+                                                           self.first_oid)
+            hi = self.next_oid if hi_oid is None else min(hi_oid,
+                                                          self.next_oid)
+            if hi < lo:
+                hi = lo
+            return lo, hi
 
     def relation(self, lo_oid: Optional[int] = None,
                  hi_oid: Optional[int] = None) -> Relation:

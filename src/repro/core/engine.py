@@ -30,6 +30,7 @@ from repro.core.incremental import (IncrementalAnalysis,
                                     analyze_incremental)
 from repro.core.monitor import Monitor
 from repro.core.receptor import Receptor
+from repro.core.recycler import DEFAULT_BUDGET_BYTES, Recycler
 from repro.core.rewriter import rewrite_to_continuous
 from repro.core.scheduler import PetriNetScheduler
 from repro.core.windows import BasicWindowTracker, WindowSpec, WindowState
@@ -80,10 +81,18 @@ class ContinuousQuery:
 class DataCellEngine:
     """The top-level system object (one MonetDB/DataCell instance)."""
 
-    def __init__(self, clock: Optional[Clock] = None):
+    def __init__(self, clock: Optional[Clock] = None,
+                 recycler_enabled: bool = True,
+                 recycler_budget_bytes: int = DEFAULT_BUDGET_BYTES,
+                 recycler_verify: bool = False):
         self.clock = clock if clock is not None else SimulatedClock()
         self.catalog = Catalog()
-        self.scheduler = PetriNetScheduler(self.clock)
+        self.recycler = Recycler(recycler_budget_bytes,
+                                 enabled=recycler_enabled,
+                                 verify=recycler_verify)
+        self.scheduler = PetriNetScheduler(
+            self.clock,
+            recycler=self.recycler if recycler_enabled else None)
         self.monitor = Monitor(self)
         self._receptors: Dict[str, List[Receptor]] = {}
         self._queries: Dict[str, ContinuousQuery] = {}
@@ -426,7 +435,9 @@ class DataCellEngine:
                                                 sub, anchor_time=now)
         return ReevalFactory(name, continuous_program, plan,
                              window_states, baskets, self.catalog,
-                             emitter, min_batch, max_delay_ms)
+                             emitter, min_batch, max_delay_ms,
+                             recycler=self.recycler
+                             if self.recycler.enabled else None)
 
     def remove_query(self, name: str) -> None:
         name = name.lower()

@@ -25,6 +25,7 @@ from repro.core.emitter import Emitter
 from repro.core.incremental import IncrementalAnalysis, IncrementalExecutor
 from repro.core.windows import BasicWindowTracker, WindowState
 from repro.errors import FactoryError
+from repro.mal.fingerprint import fingerprint_program
 from repro.mal.interpreter import MALContext, MALInterpreter
 from repro.mal.program import MALProgram
 from repro.mal.relation import Relation
@@ -140,7 +141,7 @@ class ReevalFactory(Factory):
                  window_states: Dict[str, WindowState],
                  baskets: Dict[str, Basket], catalog: Catalog,
                  emitter: Emitter, min_batch: int = 1,
-                 max_delay_ms: Optional[int] = None):
+                 max_delay_ms: Optional[int] = None, recycler=None):
         super().__init__(name, baskets, emitter)
         self.program = program
         self.plan = plan
@@ -148,6 +149,11 @@ class ReevalFactory(Factory):
         self.catalog = catalog
         self.min_batch = max(int(min_batch), 1)
         self.max_delay_ms = max_delay_ms
+        self.recycler = recycler
+        # structural fingerprints are a property of the (static)
+        # program: computed once here, consulted every firing
+        self._fingerprints = fingerprint_program(program) \
+            if recycler is not None else None
 
     def enabled(self, now: int) -> bool:
         if self.state != RUNNING:
@@ -184,18 +190,30 @@ class ReevalFactory(Factory):
 
     def _evaluate(self, now: int) -> Optional[Relation]:
         slices: Dict[str, Relation] = {}
+        ranges: Dict[str, tuple] = {}
         for stream, ws in self.window_states.items():
             lo, hi = ws.slice_bounds(now)
-            rel = self.baskets[stream].relation(lo, hi)
+            basket = self.baskets[stream]
+            if self.recycler is not None:
+                # one materialization per (basket, window) per net —
+                # every factory reading this window shares the object
+                rel, clamped = self.recycler.window_slice(basket, lo, hi)
+            else:
+                rel = basket.relation(lo, hi)
+                clamped = basket.clamp_range(lo, hi)
             slices[stream] = rel
+            ranges[stream] = clamped
             self.tuples_in += rel.row_count
         hooks = _BasketHooks(self.name, self.baskets)
         ctx = MALContext(self.catalog,
                          stream_reader=lambda name: slices[name],
                          basket_hooks=hooks)
-        result = MALInterpreter(ctx).run(self.program)
-        for ws in self.window_states.values():
-            ws.advance(now)
+        interp = MALInterpreter(ctx, recycler=self.recycler,
+                                fingerprints=self._fingerprints,
+                                window_ranges=ranges)
+        result = interp.run(self.program)
+        for stream, ws in self.window_states.items():
+            ws.advance(now, consumed_upto=ranges[stream][1])
         return result
 
 

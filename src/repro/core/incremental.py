@@ -33,13 +33,12 @@ from repro.mal import kernel
 from repro.mal.bat import BAT
 from repro.mal.relation import Relation
 from repro.sql.executor import (ExecutionContext, PlanExecutor,
-                                aggregate_relation, apply_predicate,
-                                join_relations, project_relation,
-                                sort_relation)
+                                apply_predicate, join_relations,
+                                project_relation, sort_relation)
 from repro.sql.expressions import BoundAgg
 from repro.sql.plan import (AggregateNode, DistinctNode, FilterNode,
                             JoinNode, LimitNode, PlanNode, ProjectNode,
-                            ScanNode, SortNode, StreamScanNode, UnionNode,
+                            SortNode, StreamScanNode, UnionNode,
                             walk_plan)
 
 
@@ -87,7 +86,8 @@ class IncrementalAnalysis:
         """Textual split description (the demo's plan-shape view)."""
         lines = ["incremental split:"]
         lines.append("  per-slice pipeline:")
-        lines.extend("    " + l for l in self.pipeline.pretty().splitlines())
+        lines.extend("    " + ln
+                     for ln in self.pipeline.pretty().splitlines())
         if self.agg is not None:
             lines.append(f"  blocking merge: {self.agg.label()}")
         else:

@@ -110,6 +110,19 @@ class Monitor:
                     f"{k}={v}" for k, v in sorted(extra.items())))
         lines.append(f"  network totals: in={total_in} out={total_out} "
                      f"busy={busy:.4f}s")
+        recycler = getattr(eng, "recycler", None)
+        if recycler is not None:
+            stats = recycler.stats()
+            state = "on" if stats["enabled"] else "off"
+            lines.append(
+                f"  recycler [{state}]: hits={stats['hits']} "
+                f"misses={stats['misses']} "
+                f"slice_hits={stats['slice_hits']} "
+                f"slice_misses={stats['slice_misses']} "
+                f"evictions={stats['evictions']} "
+                f"invalidations={stats['invalidations']} "
+                f"entries={stats['entries']} "
+                f"bytes={stats['bytes']}/{stats['budget_bytes']}")
         return "\n".join(lines)
 
     def plans(self, query_name: str) -> str:

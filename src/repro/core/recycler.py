@@ -1,0 +1,275 @@
+"""The intermediate recycler: cross-query shared work on one stream.
+
+DataCell's headline scenario is many standing queries over one shared
+stream. Without sharing, each factory firing independently re-slices
+the same basket window and re-runs identical leading select/project
+operators — per-query cost grows linearly where the shared-basket
+design promises sub-linear scaling. This module is the MonetDB-recycler
+answer (Ivanova et al., SIGMOD 2009) adapted to the streaming setting:
+
+* **window slices** — within and across scheduler steps, the first
+  factory to request basket window ``[lo, hi)`` materializes it once;
+  every other factory subscribed to the same window gets the *same*
+  Relation object (zero extra copies, zero-copy column views of the
+  shared materialization);
+* **instruction intermediates** — candidate lists, fetched columns,
+  group states and any other pure operator result, keyed by the
+  instruction's structural fingerprint
+  (:mod:`repro.mal.fingerprint`) plus the oid-ranges of the stream
+  windows in its lineage.
+
+Because cache keys carry *absolute* oid ranges and basket oids are
+stable for the lifetime of a tuple, a cached value never goes stale:
+the content of window ``[lo, hi)`` cannot change. Invalidation is
+therefore about memory, not correctness — entries whose windows fall
+entirely below a basket's vacuumed ``first_oid`` can never be requested
+again and are dropped eagerly (:meth:`Recycler.evict_dead`), an LRU
+byte budget bounds the rest, and :meth:`Recycler.purge_basket` guards
+the one true-staleness case (a stream dropped and re-created under the
+same name restarts its oid sequence).
+
+Cached values are shared across factories and must be treated as
+immutable — the kernel's operators are pure (they allocate fresh
+outputs), which is what makes this safe.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.mal.bat import BAT
+from repro.mal.relation import Relation
+
+# key spaces: ("slice", basket, lo, hi) for shared window slices and
+# ("ins", fingerprint, ((stream, lo, hi), ...)) for operator results
+_SLICE = "slice"
+_INS = "ins"
+
+DEFAULT_BUDGET_BYTES = 64 << 20
+
+
+def payload_nbytes(value: Any) -> int:
+    """Approximate resident size of a recycled payload."""
+    if isinstance(value, np.ndarray):
+        if value.dtype == object:
+            # object arrays hold pointers; charge a flat per-cell fee
+            return int(value.size) * 64 + value.nbytes
+        return int(value.nbytes)
+    if isinstance(value, BAT):
+        return payload_nbytes(value.values)
+    if isinstance(value, Relation):
+        return sum(payload_nbytes(bat) for _n, bat in value.columns())
+    if isinstance(value, tuple):
+        return sum(payload_nbytes(v) for v in value)
+    return 64  # scalars, None, small bookkeeping
+
+
+class _Entry:
+    __slots__ = ("value", "nbytes", "ranges")
+
+    def __init__(self, value: Any, nbytes: int,
+                 ranges: Tuple[Tuple[str, int, int], ...]):
+        self.value = value
+        self.nbytes = nbytes
+        self.ranges = ranges
+
+
+class Recycler:
+    """A per-engine LRU cache of shareable streaming intermediates.
+
+    ``verify=True`` turns on the equivalence mode used by tests: the
+    interpreter re-executes every instruction that hits the cache and
+    asserts the recycled value matches the freshly computed one.
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES,
+                 enabled: bool = True, verify: bool = False):
+        self.budget_bytes = int(budget_bytes)
+        self.enabled = enabled
+        self.verify = verify
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self.bytes_used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.slice_hits = 0
+        self.slice_misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- generic entry plumbing ----------------------------------------
+
+    def _get(self, key: tuple) -> Optional[_Entry]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def _put(self, key: tuple, value: Any,
+             ranges: Tuple[Tuple[str, int, int], ...]) -> None:
+        nbytes = payload_nbytes(value)
+        if nbytes > self.budget_bytes:
+            return  # larger than the whole cache: not worth keeping
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.bytes_used -= old.nbytes
+        self._entries[key] = _Entry(value, nbytes, ranges)
+        self.bytes_used += nbytes
+        while self.bytes_used > self.budget_bytes and self._entries:
+            _k, victim = self._entries.popitem(last=False)
+            self.bytes_used -= victim.nbytes
+            self.evictions += 1
+
+    # -- shared window slices ------------------------------------------
+
+    def window_slice(self, basket, lo: Optional[int], hi: Optional[int]
+                     ) -> Tuple[Relation, Tuple[int, int]]:
+        """The basket window ``[lo, hi)``, materialized at most once.
+
+        Returns ``(relation, (lo, hi))`` with the bounds clamped to the
+        basket's live oid range — the clamped range is the cache key,
+        so every factory asking for the same window (however phrased)
+        shares one Relation object.
+        """
+        lo, hi = basket.clamp_range(lo, hi)
+        if not self.enabled:
+            return basket.relation(lo, hi), (lo, hi)
+        key = (_SLICE, basket.name, lo, hi)
+        entry = self._get(key)
+        if entry is not None:
+            self.slice_hits += 1
+            return entry.value, (lo, hi)
+        self.slice_misses += 1
+        rel = basket.relation(lo, hi)
+        self._put(key, rel, ((basket.name, lo, hi),))
+        return rel, (lo, hi)
+
+    # -- instruction intermediates -------------------------------------
+
+    @staticmethod
+    def instruction_key(fp: str,
+                        ranges: Iterable[Tuple[str, int, int]]) -> tuple:
+        return (_INS, fp, tuple(sorted(ranges)))
+
+    def lookup(self, key: tuple) -> Tuple[bool, Any]:
+        """``(found, value)`` for an instruction-intermediate key."""
+        if not self.enabled:
+            return False, None
+        entry = self._get(key)
+        if entry is None:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, entry.value
+
+    def store(self, key: tuple, value: Any) -> None:
+        if not self.enabled:
+            return
+        self._put(key, value, key[2])
+
+    # -- invalidation ---------------------------------------------------
+
+    def evict_dead(self, floors: Dict[str, int]) -> int:
+        """Drop entries whose windows are entirely below the vacuumed
+        ``first_oid`` of their basket (they can never be requested
+        again). *floors* maps basket name -> current first_oid."""
+        if not self._entries:
+            return 0
+        dead = []
+        for key, entry in self._entries.items():
+            ranges = entry.ranges
+            if not ranges:
+                continue
+            gone = True
+            for name, _lo, hi in ranges:
+                floor = floors.get(name)
+                if floor is None or hi > floor:
+                    gone = False
+                    break
+            if gone:
+                dead.append(key)
+        for key in dead:
+            entry = self._entries.pop(key)
+            self.bytes_used -= entry.nbytes
+            self.invalidations += 1
+        return len(dead)
+
+    def purge_basket(self, basket_name: str) -> int:
+        """Drop every entry touching *basket_name* (stream dropped or
+        re-created: its oid sequence restarts, so keyed ranges would
+        alias)."""
+        basket_name = basket_name.lower()
+        dead = [key for key, entry in self._entries.items()
+                if any(name == basket_name for name, _l, _h in
+                       entry.ranges)]
+        for key in dead:
+            entry = self._entries.pop(key)
+            self.bytes_used -= entry.nbytes
+            self.invalidations += 1
+        return len(dead)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.bytes_used = 0
+
+    # -- reporting -------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "enabled": int(self.enabled),
+            "entries": len(self._entries),
+            "bytes": self.bytes_used,
+            "budget_bytes": self.budget_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "slice_hits": self.slice_hits,
+            "slice_misses": self.slice_misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Recycler(entries={len(self._entries)}, "
+                f"bytes={self.bytes_used}, hits={self.hits}, "
+                f"misses={self.misses})")
+
+
+def payloads_equal(a: Any, b: Any) -> bool:
+    """Deep equality between a recycled payload and a fresh one (the
+    equivalence/verify mode's comparator)."""
+    if type(a) is not type(b):
+        # allow int/float scalar identity across numpy/python boxing
+        if isinstance(a, (int, float, np.integer, np.floating)) and \
+                isinstance(b, (int, float, np.integer, np.floating)):
+            return bool(a == b) or (a != a and b != b)
+        return False
+    if isinstance(a, np.ndarray):
+        if a.dtype != b.dtype or a.shape != b.shape:
+            return False
+        if a.dtype == object:
+            return all(x == y or (x is None and y is None)
+                       for x, y in zip(a, b))
+        if a.dtype.kind == "f":
+            return bool(np.array_equal(a, b, equal_nan=True))
+        return bool(np.array_equal(a, b))
+    if isinstance(a, BAT):
+        return a.dtype == b.dtype and payloads_equal(a.values, b.values)
+    if isinstance(a, Relation):
+        if a.names != b.names:
+            return False
+        return all(payloads_equal(a.column(n), b.column(n))
+                   for n in a.names)
+    if isinstance(a, tuple):
+        return len(a) == len(b) and all(
+            payloads_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict):
+        return a.keys() == b.keys() and all(
+            payloads_equal(a[k], b[k]) for k in a)
+    if isinstance(a, float):
+        return a == b or (a != a and b != b)
+    return bool(a == b)

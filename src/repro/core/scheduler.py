@@ -36,8 +36,9 @@ _MAX_BURST = 100_000
 class PetriNetScheduler:
     """Event-driven orchestration of receptors, factories, baskets."""
 
-    def __init__(self, clock: Clock):
+    def __init__(self, clock: Clock, recycler=None):
         self.clock = clock
+        self.recycler = recycler
         self.receptors: List[Receptor] = []
         self.factories: List[Factory] = []
         self.baskets: Dict[str, Basket] = {}
@@ -56,6 +57,10 @@ class PetriNetScheduler:
 
     def remove_basket(self, name: str) -> None:
         self.baskets.pop(name.lower(), None)
+        if self.recycler is not None:
+            # a later stream of the same name restarts oids at 0, which
+            # would alias old cache keys — drop everything for the name
+            self.recycler.purge_basket(name.lower())
 
     def add_receptor(self, receptor: Receptor) -> None:
         self.receptors.append(receptor)
@@ -119,6 +124,9 @@ class PetriNetScheduler:
         dropped = 0
         for basket in self.baskets.values():
             dropped += basket.vacuum()
+        if self.recycler is not None and dropped:
+            self.recycler.evict_dead(
+                {name: b.first_oid for name, b in self.baskets.items()})
         self.total_fired += fired
         return {"ingested": ingested, "fired": fired, "dropped": dropped}
 
@@ -172,10 +180,13 @@ class PetriNetScheduler:
     # -- monitoring ----------------------------------------------------------
 
     def network_stats(self) -> Dict[str, Dict]:
-        return {
+        out = {
             "steps": self.steps,
             "total_fired": self.total_fired,
             "baskets": {n: b.stats() for n, b in self.baskets.items()},
             "factories": {f.name: f.stats() for f in self.factories},
             "failed": [str(e) for e in self.failed],
         }
+        if self.recycler is not None:
+            out["recycler"] = self.recycler.stats()
+        return out

@@ -144,11 +144,21 @@ class WindowState:
 
     # -- advancing ------------------------------------------------------
 
-    def advance(self, now: int) -> None:
-        """Move to the next window and release expired tuples."""
+    def advance(self, now: int,
+                consumed_upto: Optional[int] = None) -> None:
+        """Move to the next window and release expired tuples.
+
+        *consumed_upto* is the hi bound the firing actually evaluated.
+        Unwindowed cursors must advance to that bound, not to the
+        current ``next_oid``: in live mode a receptor thread may have
+        appended tuples mid-evaluation, and recomputing the bound here
+        would release them unseen.
+        """
         lo, hi = self.slice_bounds(now)
         self.fires += 1
         if self.spec.kind == "none":
+            if consumed_upto is not None:
+                hi = consumed_upto
             self.sub.read_upto = hi
             self.sub.release(hi)
             return

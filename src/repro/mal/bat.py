@@ -83,7 +83,17 @@ class VectorHeap:
         self._count += 1
 
     def extend(self, values) -> None:
-        values = np.asarray(values, dtype=self.dtype.np_dtype)
+        # fast path: already a storage array of the target dtype (the
+        # common case after batch ingest staging) — no conversion pass
+        if not (isinstance(values, np.ndarray)
+                and values.dtype == self.dtype.np_dtype):
+            if self.dtype.is_string:
+                vals = values if isinstance(values, list) \
+                    else list(values)
+                values = np.empty(len(vals), dtype=object)
+                values[:] = vals
+            else:
+                values = np.asarray(values, dtype=self.dtype.np_dtype)
         n = len(values)
         if n == 0:
             return
@@ -134,10 +144,9 @@ class BAT:
         """
         bat = cls(dtype)
         if coerce:
-            values = [dt.coerce_value(dtype, v) for v in values]
+            bat._heap.extend(dt.coerce_column(dtype, values))
+            return bat
         if dtype.is_string:
-            arr = np.empty(len(values) if hasattr(values, "__len__") else 0,
-                           dtype=object)
             vals = list(values)
             arr = np.empty(len(vals), dtype=object)
             arr[:] = vals
@@ -185,14 +194,10 @@ class BAT:
 
     def extend(self, values, coerce: bool = False) -> None:
         if coerce:
-            values = [dt.coerce_value(self.dtype, v) for v in values]
-        if self.dtype.is_string:
-            vals = list(values)
-            arr = np.empty(len(vals), dtype=object)
-            arr[:] = vals
-            self._heap.extend(arr)
-        else:
-            self._heap.extend(np.asarray(values, dtype=self.dtype.np_dtype))
+            values = dt.coerce_column(self.dtype, values)
+        # VectorHeap.extend handles dtype staging (with a no-copy fast
+        # path for arrays already in storage form)
+        self._heap.extend(values)
 
     def append_bat(self, other: "BAT") -> None:
         if other.dtype != self.dtype:

@@ -66,26 +66,83 @@ def has_opcode(name: str) -> bool:
 
 
 class MALInterpreter:
-    """Straight-line interpreter with a variable environment per run."""
+    """Straight-line interpreter with a variable environment per run.
 
-    def __init__(self, ctx: MALContext):
+    With a :class:`~repro.core.recycler.Recycler` attached (plus the
+    program's instruction fingerprints and the oid-ranges of the stream
+    windows this run reads), every recyclable instruction consults the
+    cross-query cache before executing: a hit binds the shared cached
+    value; a miss executes and publishes the result for the other
+    standing queries sharing the basket window.
+    """
+
+    def __init__(self, ctx: MALContext, recycler=None,
+                 fingerprints=None, window_ranges=None):
         self.ctx = ctx
+        self.recycler = recycler
+        self.fingerprints = fingerprints
+        self.window_ranges = window_ranges or {}
 
     def run(self, program: MALProgram,
             env: Optional[Dict[str, Any]] = None) -> Optional[Relation]:
         env = env if env is not None else {}
-        for instr in program.instructions:
-            self._step(instr, env)
+        recycling = (self.recycler is not None
+                     and self.fingerprints is not None
+                     and len(self.fingerprints) == len(program.instructions))
+        for i, instr in enumerate(program.instructions):
+            if recycling:
+                self._recycled_step(instr, self.fingerprints[i], env)
+            else:
+                self._step(instr, env)
         return self.ctx.result
 
+    def _recycled_step(self, instr: Instruction, info,
+                       env: Dict[str, Any]) -> None:
+        if info is None or not info.recyclable:
+            self._step(instr, env)
+            return
+        try:
+            ranges = [(s,) + self.window_ranges[s] for s in info.streams]
+        except KeyError:
+            # a lineage stream this run has no window for (should not
+            # happen for factory programs) — execute without caching
+            self._step(instr, env)
+            return
+        key = self.recycler.instruction_key(info.fp, ranges)
+        found, value = self.recycler.lookup(key)
+        if found:
+            if self.recycler.verify:
+                self._verify_hit(instr, env, value)
+            self._bind(instr, value, env)
+            return
+        value = self._execute(instr, env)
+        self._bind(instr, value, env)
+        self.recycler.store(key, value)
+
+    def _verify_hit(self, instr: Instruction, env: Dict[str, Any],
+                    cached: Any) -> None:
+        from repro.core.recycler import payloads_equal
+
+        fresh = self._execute(instr, env)
+        if not payloads_equal(cached, fresh):
+            raise MALError(
+                f"recycler verify failed for {instr.opcode}: cached "
+                f"{cached!r} != fresh {fresh!r}")
+
     def _step(self, instr: Instruction, env: Dict[str, Any]) -> None:
+        self._bind(instr, self._execute(instr, env), env)
+
+    def _execute(self, instr: Instruction, env: Dict[str, Any]) -> Any:
         if instr.opcode.startswith("calc."):
             resolve_opcode(instr.opcode)
         impl = _OPCODES.get(instr.opcode)
         if impl is None:
             raise MALError(f"unknown opcode {instr.opcode!r}")
         args = [self._value(a, env) for a in instr.args]
-        out = impl(self.ctx, *args)
+        return impl(self.ctx, *args)
+
+    @staticmethod
+    def _bind(instr: Instruction, out: Any, env: Dict[str, Any]) -> None:
         if len(instr.results) == 0:
             return
         if len(instr.results) == 1:

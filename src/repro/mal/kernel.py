@@ -626,9 +626,8 @@ def distinct(bats: Sequence[BAT],
         raise KernelError("distinct needs at least one column")
     gids = None
     reps = None
-    n = None
     for bat in bats:
-        gids, reps, n = subgroup(bat, gids, cand)
+        gids, reps, _n = subgroup(bat, gids, cand)
     return np.sort(reps)
 
 

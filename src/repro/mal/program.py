@@ -137,6 +137,17 @@ class MALProgram:
     def count_module(self, module: str) -> int:
         return sum(1 for i in self.instructions if i.module == module)
 
+    def fingerprint(self) -> str:
+        """Structural digest of this program (SSA-name independent).
+
+        Two independently compiled programs doing identical work over
+        identical sources share a fingerprint; see
+        :mod:`repro.mal.fingerprint` for the canonicalization rules.
+        """
+        from repro.mal.fingerprint import program_fingerprint
+
+        return program_fingerprint(self)
+
     def copy(self) -> "MALProgram":
         out = MALProgram(self.name, self.kind)
         out.instructions = [Instruction(list(i.results), i.opcode,

@@ -59,9 +59,12 @@ class Table:
                     f"insert into {self.name}: expected {width} values, "
                     f"got {len(row)}")
         start = len(self)
-        for i, coldef in enumerate(self.schema.columns):
-            self._bats[coldef.name].extend(
-                [row[i] for row in rows], coerce=True)
+        # same batch staging as Basket.append_rows: one vectorized
+        # conversion per column, not a Python loop per row
+        staged = [dt.coerce_column(coldef.dtype, [row[i] for row in rows])
+                  for i, coldef in enumerate(self.schema.columns)]
+        for coldef, column in zip(self.schema.columns, staged):
+            self._bats[coldef.name].extend(column)
         for index in self._indexes.values():
             index.on_append(start, len(self))
 

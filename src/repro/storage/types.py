@@ -156,6 +156,41 @@ def coerce_value(dtype: DataType, value: Any):
     raise TypeMismatchError(f"unsupported type {dtype!r}")
 
 
+def coerce_column(dtype: DataType, values) -> np.ndarray:
+    """Batch-coerce a sequence of Python values to a storage array.
+
+    Semantically identical to ``[coerce_value(dtype, v) for v in
+    values]`` (same :class:`TypeMismatchError` on impossible
+    conversions, ``None`` becomes nil) but with a vectorized fast path
+    for the ingest-hot case of clean homogeneous columns: one C-level
+    type scan plus ``np.fromiter``, instead of a Python-level coercion
+    call per value.
+    """
+    if isinstance(values, np.ndarray) and \
+            values.dtype == dtype.np_dtype and not dtype.is_string:
+        return values
+    values = values if isinstance(values, list) else list(values)
+    n = len(values)
+    if dtype is INT or dtype is TIMESTAMP:
+        if all(type(v) is int for v in values):
+            return np.fromiter(values, dtype=np.int64, count=n)
+    elif dtype is FLOAT:
+        if all(type(v) is float or type(v) is int for v in values):
+            return np.fromiter(values, dtype=np.float64, count=n)
+    elif dtype is STRING:
+        if all(type(v) is str or v is None for v in values):
+            arr = np.empty(n, dtype=object)
+            arr[:] = values
+            return arr
+    # slow path: per-value coercion with full type checking
+    coerced = [coerce_value(dtype, v) for v in values]
+    if dtype.is_string:
+        arr = np.empty(n, dtype=object)
+        arr[:] = coerced
+        return arr
+    return np.asarray(coerced, dtype=dtype.np_dtype)
+
+
 def from_storage(dtype: DataType, value: Any) -> Optional[Any]:
     """Convert a storage cell back to a Python value (nil -> None)."""
     if is_nil(dtype, value):

@@ -5,7 +5,7 @@ import pytest
 from repro.bench.harness import (ResultTable, run_windowed_query, speedup,
                                  time_callable)
 from repro.bench.reporting import (compare_runs, load_json, save_json,
-                                   to_json, to_markdown)
+                                   to_markdown)
 
 
 class TestResultTable:

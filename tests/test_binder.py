@@ -3,10 +3,9 @@
 import pytest
 
 from repro.errors import BindError
-from repro.sql import ast
 from repro.sql.binder import Binder, Scope
-from repro.sql.expressions import (BoundAgg, BoundCase, BoundColumn,
-                                   BoundCompare, BoundLiteral, BoundNeg)
+from repro.sql.expressions import (BoundAgg, BoundCase,
+                                   BoundCompare, BoundLiteral)
 from repro.sql.parser import parse
 from repro.storage import types as dt
 from repro.storage.schema import Schema

@@ -4,7 +4,7 @@ stream+table processing, clocks."""
 
 import pytest
 
-from repro.core.clock import SimulatedClock, WallClock
+from repro.core.clock import WallClock
 from repro.core.engine import DataCellEngine
 from repro.core.receptor import ThreadedReceptor
 from repro.streams.source import ListSource, RateSource

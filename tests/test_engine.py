@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.core.engine import DataCellEngine
 from repro.core.incremental import UnsupportedIncremental
 from repro.errors import BindError, CatalogError, StreamError
-from repro.mal.relation import Relation
 from repro.streams.source import ListSource, RateSource
 
 

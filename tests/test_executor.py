@@ -1,6 +1,5 @@
 """Integration tests: one-time SQL through the plan executor."""
 
-import pytest
 
 from repro.sql import compile_select
 from repro.sql.executor import ExecutionContext, PlanExecutor

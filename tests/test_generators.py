@@ -1,6 +1,5 @@
 """Unit tests for the synthetic workload generators."""
 
-import pytest
 
 from repro.streams import generators as G
 

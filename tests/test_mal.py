@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import MALError
 from repro.mal.compiler import compile_plan
-from repro.mal.interpreter import MALContext, MALInterpreter, execute
+from repro.mal.interpreter import MALContext, execute
 from repro.mal.program import Const, Instruction, MALProgram, Var
 from repro.sql import compile_select
 from repro.sql.executor import ExecutionContext, PlanExecutor

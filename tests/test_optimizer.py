@@ -5,10 +5,9 @@ import pytest
 from repro.sql.expressions import BoundLiteral
 from repro.sql.optimizer import Optimizer
 from repro.sql.optimizer.rules import (extract_join_keys, fold_constants,
-                                       fold_expr, prune_columns,
-                                       push_down_filters)
+                                       prune_columns, push_down_filters)
 from repro.sql.parser import parse
-from repro.sql.plan import (FilterNode, JoinNode, ProjectNode, ScanNode,
+from repro.sql.plan import (FilterNode, JoinNode, ScanNode,
                             walk_plan)
 from repro.sql.planner import Planner
 from repro.storage import Schema

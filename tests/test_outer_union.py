@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import BindError, ParseError
+from repro.errors import BindError
 from repro.mal.compiler import compile_plan
 from repro.mal.interpreter import MALContext, execute
 from repro.sql import ast, compile_select

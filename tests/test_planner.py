@@ -6,11 +6,9 @@ from repro.errors import BindError, CatalogError
 from repro.sql.parser import parse
 from repro.sql.plan import (AggregateNode, DistinctNode, FilterNode,
                             JoinNode, LimitNode, ProjectNode, ScanNode,
-                            SortNode, StreamScanNode, find_stream_scans,
-                            walk_plan)
+                            SortNode, find_stream_scans, walk_plan)
 from repro.sql.planner import Planner
 from repro.storage import Schema
-from repro.storage.catalog import Catalog
 
 
 @pytest.fixture

@@ -2,7 +2,6 @@
 ingestion, clock advances, pause/resume and query removal must never
 corrupt invariants (conservation, equivalence, no silent failures)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

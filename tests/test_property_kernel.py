@@ -6,7 +6,7 @@ kernel is the foundation everything else trusts.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.mal import kernel as K

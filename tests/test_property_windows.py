@@ -6,7 +6,6 @@ compositions must cover precisely the window extent, and the scheduler
 must make progress under arbitrary arrival patterns.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -14,7 +13,6 @@ from repro.core.basket import Basket
 from repro.core.engine import DataCellEngine
 from repro.core.windows import BasicWindowTracker, WindowSpec, WindowState
 from repro.storage import Schema
-from repro.streams.source import ListSource
 
 
 def make_basket():

@@ -3,7 +3,6 @@
 the optimized plan, and (c) the MAL interpreter — the strongest
 whole-stack consistency check in the suite."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

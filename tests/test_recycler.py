@@ -1,0 +1,433 @@
+"""The shared-work layer: structural fingerprints + the intermediate
+recycler.
+
+Covers fingerprint canonicalization (SSA-name independence, constant
+and stream sensitivity, recyclability verdicts), the recycler's LRU /
+invalidation mechanics, and the end-to-end equivalence guarantee:
+recycler-on and recycler-off engines emit byte-identical results for
+the same workload (filter fleets, windowed aggregates, joins).
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.basket import Basket
+from repro.core.engine import DataCellEngine
+from repro.core.recycler import (Recycler, payload_nbytes,
+                                 payloads_equal)
+from repro.mal.bat import BAT
+from repro.mal.fingerprint import (fingerprint_program,
+                                   program_fingerprint, shared_prefix)
+from repro.mal.program import Const, Instruction, MALProgram, Var
+from repro.mal.relation import Relation
+from repro.storage import types as dt
+from repro.storage.schema import Schema
+from repro.streams.source import RateSource
+
+
+def filter_program(stream="s", column="v", threshold=1.5, offset=0):
+    """A hand-built select-project factory body with controllable SSA
+    numbering (*offset*) so renaming invariance can be exercised."""
+    p = MALProgram(kind="factory")
+    b, c, o = (f"X_{offset + i}" for i in range(1, 4))
+    p.append(Instruction([b], "basket.bind",
+                         [Const(stream), Const(column)]))
+    p.append(Instruction([c], "algebra.thetaselect",
+                         [Var(b), Const(threshold), Const(">")]))
+    p.append(Instruction([o], "algebra.projection", [Var(c), Var(b)]))
+    p.append(Instruction([], "sql.resultSet", [Var(o)]))
+    return p
+
+
+class TestFingerprint:
+    def test_ssa_renaming_invariant(self):
+        a = fingerprint_program(filter_program(offset=0))
+        b = fingerprint_program(filter_program(offset=40))
+        assert [i.fp for i in a if i] == [i.fp for i in b if i]
+        assert program_fingerprint(filter_program(offset=0)) == \
+            program_fingerprint(filter_program(offset=40))
+
+    def test_constant_sensitivity(self):
+        a = fingerprint_program(filter_program(threshold=1.5))
+        b = fingerprint_program(filter_program(threshold=2.5))
+        assert a[0].fp == b[0].fp        # same bind
+        assert a[1].fp != b[1].fp        # different select constant
+        assert a[2].fp != b[2].fp        # lineage difference propagates
+
+    def test_constant_type_sensitivity(self):
+        a = fingerprint_program(filter_program(threshold=1))
+        b = fingerprint_program(filter_program(threshold=1.0))
+        assert a[1].fp != b[1].fp
+
+    def test_stream_sensitivity_and_scoping(self):
+        a = fingerprint_program(filter_program(stream="s"))
+        b = fingerprint_program(filter_program(stream="s2"))
+        assert a[0].fp != b[0].fp
+        assert a[1].streams == frozenset({"s"})
+        assert b[1].streams == frozenset({"s2"})
+
+    def test_side_effects_and_binds_not_recyclable(self):
+        infos = fingerprint_program(filter_program())
+        assert infos[3] is None                  # resultSet
+        assert not infos[0].recyclable           # basket.bind (anchor)
+        assert infos[1].recyclable and infos[2].recyclable
+
+    def test_table_bind_taints_downstream(self):
+        p = MALProgram(kind="factory")
+        p.append(Instruction(["T_1"], "sql.bind",
+                             [Const("dim"), Const("label")]))
+        p.append(Instruction(["T_2"], "algebra.projection",
+                             [Var("T_1"), Var("T_1")]))
+        infos = fingerprint_program(p)
+        assert not infos[0].recyclable
+        assert not infos[1].recyclable
+
+    def test_unknown_var_not_recyclable(self):
+        p = MALProgram(kind="factory")
+        p.append(Instruction(["Y_1"], "algebra.projection",
+                             [Var("never_bound"), Var("never_bound")]))
+        assert not fingerprint_program(p)[0].recyclable
+
+    def test_shared_prefix_across_fleet(self):
+        fleet = [filter_program(threshold=5.0, offset=i * 10)
+                 for i in range(4)]
+        common = shared_prefix(fleet)
+        infos = fingerprint_program(fleet[0])
+        assert infos[1].fp in common and infos[2].fp in common
+        # an outlier constant shares no recyclable instruction
+        fleet.append(filter_program(threshold=9.0, offset=99))
+        assert shared_prefix(fleet) == []
+        assert shared_prefix([]) == []
+
+    def test_engine_program_fingerprints_match_across_queries(self):
+        engine = DataCellEngine()
+        engine.execute("CREATE STREAM s (k INT, v FLOAT)")
+        q1 = engine.register_continuous("SELECT k FROM s WHERE v > 1",
+                                        name="a")
+        q2 = engine.register_continuous("SELECT k FROM s WHERE v > 1",
+                                        name="b")
+        q3 = engine.register_continuous("SELECT k FROM s WHERE v > 2",
+                                        name="c")
+        fp = q1.continuous_program.fingerprint()
+        assert fp == q2.continuous_program.fingerprint()
+        assert fp != q3.continuous_program.fingerprint()
+
+
+def int_bat(values):
+    return BAT.from_values(dt.INT, list(values))
+
+
+class TestRecyclerMechanics:
+    def test_window_slice_shared_object(self):
+        basket = Basket("s", Schema.parse([("k", "INT")]))
+        basket.append_rows([(1,), (2,)], now=0)
+        rec = Recycler()
+        rel1, rng1 = rec.window_slice(basket, 0, 2)
+        rel2, rng2 = rec.window_slice(basket, None, None)
+        assert rel1 is rel2                       # one materialization
+        assert rng1 == rng2 == (0, 2)
+        assert rec.stats()["slice_hits"] == 1
+        assert rec.stats()["slice_misses"] == 1
+
+    def test_lookup_store_roundtrip(self):
+        rec = Recycler()
+        key = rec.instruction_key("abcd", [("s", 0, 10)])
+        assert rec.lookup(key) == (False, None)
+        rec.store(key, int_bat([1, 2, 3]))
+        found, value = rec.lookup(key)
+        assert found and value.values.tolist() == [1, 2, 3]
+        stats = rec.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_key_is_range_sensitive(self):
+        rec = Recycler()
+        k1 = rec.instruction_key("abcd", [("s", 0, 10)])
+        k2 = rec.instruction_key("abcd", [("s", 10, 20)])
+        assert k1 != k2
+        # range order never matters
+        k3 = rec.instruction_key("abcd", [("s", 0, 5), ("t", 0, 5)])
+        k4 = rec.instruction_key("abcd", [("t", 0, 5), ("s", 0, 5)])
+        assert k3 == k4
+
+    def test_lru_eviction_under_byte_budget(self):
+        one_kb = np.zeros(128, dtype=np.int64)
+        rec = Recycler(budget_bytes=3 * one_kb.nbytes)
+        keys = [rec.instruction_key(f"fp{i}", [("s", i, i + 1)])
+                for i in range(5)]
+        for key in keys:
+            rec.store(key, one_kb.copy())
+        assert len(rec) == 3
+        assert rec.stats()["evictions"] == 2
+        assert rec.bytes_used <= rec.budget_bytes
+        # the oldest entries were the victims
+        assert rec.lookup(keys[0])[0] is False
+        assert rec.lookup(keys[4])[0] is True
+
+    def test_lru_recency_protects_entries(self):
+        item = np.zeros(128, dtype=np.int64)
+        rec = Recycler(budget_bytes=2 * item.nbytes)
+        k = [rec.instruction_key(f"fp{i}", [("s", i, i + 1)])
+             for i in range(3)]
+        rec.store(k[0], item.copy())
+        rec.store(k[1], item.copy())
+        rec.lookup(k[0])                  # refresh: k[1] becomes LRU
+        rec.store(k[2], item.copy())
+        assert rec.lookup(k[0])[0] is True
+        assert rec.lookup(k[1])[0] is False
+
+    def test_oversized_payload_not_cached(self):
+        rec = Recycler(budget_bytes=64)
+        key = rec.instruction_key("big", [("s", 0, 1)])
+        rec.store(key, np.zeros(1024, dtype=np.int64))
+        assert len(rec) == 0
+
+    def test_evict_dead_drops_vacuumed_windows(self):
+        rec = Recycler()
+        old = rec.instruction_key("fp", [("s", 0, 10)])
+        live = rec.instruction_key("fp", [("s", 10, 20)])
+        straddle = rec.instruction_key("fp", [("s", 5, 15)])
+        for key in (old, live, straddle):
+            rec.store(key, int_bat([1]))
+        assert rec.evict_dead({"s": 10}) == 1
+        assert rec.lookup(old)[0] is False
+        assert rec.lookup(live)[0] is True
+        assert rec.lookup(straddle)[0] is True
+        assert rec.stats()["invalidations"] == 1
+
+    def test_evict_dead_needs_all_ranges_dead(self):
+        rec = Recycler()
+        key = rec.instruction_key("fp", [("s", 0, 10), ("t", 0, 10)])
+        rec.store(key, int_bat([1]))
+        assert rec.evict_dead({"s": 50}) == 0     # t still unknown/live
+        assert rec.evict_dead({"s": 50, "t": 50}) == 1
+
+    def test_purge_basket(self):
+        rec = Recycler()
+        basket = Basket("s", Schema.parse([("k", "INT")]))
+        basket.append_rows([(1,)], now=0)
+        rec.window_slice(basket, None, None)
+        rec.store(rec.instruction_key("fp", [("s", 0, 1)]), int_bat([1]))
+        rec.store(rec.instruction_key("fp", [("t", 0, 1)]), int_bat([2]))
+        assert rec.purge_basket("s") == 2          # slice + instruction
+        assert len(rec) == 1
+        assert rec.bytes_used == payload_nbytes(int_bat([2]))
+
+    def test_disabled_recycler_is_inert(self):
+        rec = Recycler(enabled=False)
+        basket = Basket("s", Schema.parse([("k", "INT")]))
+        basket.append_rows([(1,)], now=0)
+        rel1, _ = rec.window_slice(basket, None, None)
+        rel2, _ = rec.window_slice(basket, None, None)
+        assert rel1 is not rel2
+        key = rec.instruction_key("fp", [("s", 0, 1)])
+        rec.store(key, int_bat([1]))
+        assert rec.lookup(key) == (False, None)
+        assert len(rec) == 0
+
+    def test_payload_nbytes_shapes(self):
+        arr = np.zeros(10, dtype=np.int64)
+        assert payload_nbytes(arr) == 80
+        assert payload_nbytes(int_bat([1, 2])) == 16
+        rel = Relation([("a", int_bat([1, 2])), ("b", int_bat([3, 4]))])
+        assert payload_nbytes(rel) == 32
+        assert payload_nbytes((arr, arr)) == 160
+        assert payload_nbytes(None) == 64
+
+    def test_payloads_equal(self):
+        assert payloads_equal(int_bat([1, 2]), int_bat([1, 2]))
+        assert not payloads_equal(int_bat([1, 2]), int_bat([1, 3]))
+        nan = np.array([1.0, float("nan")])
+        assert payloads_equal(nan, nan.copy())
+        svals = np.array(["a", None], dtype=object)
+        assert payloads_equal(svals, svals.copy())
+        assert not payloads_equal(np.zeros(2), np.zeros(3))
+        assert payloads_equal((1, 2.0), (1, 2.0))
+        assert not payloads_equal(int_bat([1]), np.array([1]))
+
+
+# ---------------------------------------------------------------------------
+# engine-level invalidation + counters
+# ---------------------------------------------------------------------------
+
+
+class TestEngineIntegration:
+    def run_fleet(self, **engine_kwargs):
+        engine = DataCellEngine(**engine_kwargs)
+        engine.execute("CREATE STREAM s (k INT, v FLOAT)")
+        for i in range(4):
+            engine.register_continuous(
+                f"SELECT k, v FROM s WHERE v > {i % 2}", name=f"q{i}")
+        rows = [(i, float(i % 5)) for i in range(200)]
+        engine.attach_source("s", RateSource(rows, rate=100000))
+        engine.run_until_drained()
+        assert not engine.scheduler.failed, engine.scheduler.failed
+        return engine
+
+    def test_hits_and_network_stats(self):
+        engine = self.run_fleet()
+        stats = engine.scheduler.network_stats()["recycler"]
+        assert stats["hits"] > 0 and stats["slice_hits"] > 0
+        assert "recycler [on]" in engine.monitor.analysis()
+
+    def test_vacuum_invalidates_dead_windows(self):
+        engine = self.run_fleet()
+        stats = engine.recycler.stats()
+        # unwindowed queries release eagerly: all drained windows died
+        assert stats["invalidations"] > 0
+        assert len(engine.recycler) == 0
+
+    def test_drop_stream_purges(self):
+        engine = DataCellEngine()
+        engine.execute("CREATE STREAM s (k INT, v FLOAT)")
+        engine.register_continuous("SELECT k FROM s WHERE v > 0",
+                                      name="q")
+        engine.feed("s", [(1, 1.0), (2, 0.0)])
+        engine.step(10)
+        # pin an artificial live entry so the purge has work to do
+        engine.recycler.store(
+            engine.recycler.instruction_key("fp", [("s", 0, 99)]),
+            int_bat([1]))
+        engine.remove_query("q")
+        engine.execute("DROP STREAM s")
+        assert all("s" not in {r[0] for r in e.ranges}
+                   for e in engine.recycler._entries.values())
+
+    def test_disabled_engine_runs_without_recycler(self):
+        engine = self.run_fleet(recycler_enabled=False)
+        stats = engine.recycler.stats()
+        assert stats["hits"] == 0 and stats["slice_hits"] == 0
+        assert "recycler [off]" in engine.monitor.analysis()
+        assert "recycler" not in engine.scheduler.network_stats()
+
+    def test_verify_mode_clean_run(self):
+        # equivalence mode: every hit is re-executed and compared; any
+        # stale or wrongly-shared value fails the factory
+        engine = self.run_fleet(recycler_verify=True)
+        assert engine.recycler.stats()["hits"] > 0
+
+
+# ---------------------------------------------------------------------------
+# recycler-on == recycler-off equivalence (byte-identical emissions)
+# ---------------------------------------------------------------------------
+
+
+SENSOR_DDL = ("CREATE STREAM sensors (sensor_id INT, room INT, "
+              "temperature FLOAT, humidity FLOAT)")
+
+
+def emitted(engine, names):
+    """Per-query emission log: (fire time, rows) pairs, unrounded."""
+    return {name: [(t, r.to_rows()) for t, r in
+                   engine.results(name).batches] for name in names}
+
+
+def run_workload(recycler_enabled, setup):
+    engine = DataCellEngine(recycler_enabled=recycler_enabled)
+    names = setup(engine)
+    engine.run_until_drained()
+    assert not engine.scheduler.failed, engine.scheduler.failed
+    return emitted(engine, names)
+
+
+def assert_recycler_transparent(setup):
+    on = run_workload(True, setup)
+    off = run_workload(False, setup)
+    assert on == off
+
+
+def sensor_rows_det(n):
+    return [(i % 8, i % 4, float((i * 7) % 30), float(i % 100) / 2)
+            for i in range(n)]
+
+
+class TestEquivalence:
+    def test_e2_filter_fleet(self):
+        def setup(engine):
+            engine.execute(SENSOR_DDL)
+            for i in range(12):
+                engine.register_continuous(
+                    f"SELECT sensor_id, temperature FROM sensors "
+                    f"WHERE temperature > {10 + (i % 4)}", name=f"q{i}")
+            engine.attach_source(
+                "sensors", RateSource(sensor_rows_det(2000), rate=50000))
+            return [f"q{i}" for i in range(12)]
+
+        assert_recycler_transparent(setup)
+
+    def test_e3_windowed_aggregates(self):
+        def setup(engine):
+            engine.execute(SENSOR_DDL)
+            for i, name in enumerate(["a", "b"]):
+                engine.register_continuous(
+                    "SELECT room, count(*), sum(temperature), "
+                    "avg(humidity) FROM sensors "
+                    "[RANGE 300 SLIDE 100] GROUP BY room ORDER BY room",
+                    name=name, mode="reeval")
+            engine.register_continuous(
+                "SELECT min(temperature), max(temperature) FROM "
+                "sensors [RANGE 200 SLIDE 50]", name="c", mode="reeval")
+            engine.attach_source(
+                "sensors", RateSource(sensor_rows_det(1500), rate=50000))
+            return ["a", "b", "c"]
+
+        assert_recycler_transparent(setup)
+
+    def test_e5_joins(self):
+        def setup(engine):
+            engine.execute(SENSOR_DDL)
+            engine.execute("CREATE STREAM alerts (room INT, level INT)")
+            engine.execute(
+                "CREATE TABLE rooms (room INT, name VARCHAR(8))")
+            engine.execute("INSERT INTO rooms VALUES (0,'lab'), "
+                           "(1,'hall'), (2,'attic'), (3,'cellar')")
+            for name in ("j1", "j2"):
+                engine.register_continuous(
+                    "SELECT r.name, count(*) FROM sensors "
+                    "[RANGE 200 SLIDE 100] s, rooms r "
+                    "WHERE s.room = r.room GROUP BY r.name "
+                    "ORDER BY r.name", name=name, mode="reeval")
+            engine.register_continuous(
+                "SELECT s.sensor_id, a.level FROM sensors "
+                "[RANGE 100 SLIDE 50] s, alerts [RANGE 100 SLIDE 50] a "
+                "WHERE s.room = a.room AND s.temperature > 12",
+                name="j3", mode="reeval")
+            engine.attach_source(
+                "sensors", RateSource(sensor_rows_det(1000), rate=50000))
+            engine.attach_source(
+                "alerts", RateSource([(i % 4, i % 3) for i in range(500)],
+                                     rate=25000))
+            return ["j1", "j2", "j3"]
+
+        assert_recycler_transparent(setup)
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_property_random_streams_and_windows(self, data):
+        n = data.draw(st.integers(20, 120), label="rows")
+        rows = [(data.draw(st.integers(0, 3)),
+                 data.draw(st.one_of(
+                     st.none(),
+                     st.floats(-50, 50, allow_nan=False))))
+                for _ in range(n)]
+        slide = data.draw(st.integers(1, 8), label="slide")
+        size = slide * data.draw(st.integers(1, 5), label="factor")
+        windowed = data.draw(st.booleans(), label="windowed")
+        window = f" [RANGE {size} SLIDE {slide}]" if windowed else ""
+        queries = [
+            f"SELECT k, count(*), sum(v) FROM s{window} GROUP BY k "
+            f"ORDER BY k",
+            f"SELECT k, v FROM s{window} WHERE v > 0",
+            f"SELECT k, v FROM s{window} WHERE v > 0",   # exact twin
+        ]
+
+        def setup(engine):
+            engine.execute("CREATE STREAM s (k INT, v FLOAT)")
+            for i, sql in enumerate(queries):
+                engine.register_continuous(sql, name=f"q{i}",
+                                           mode="reeval")
+            engine.attach_source("s", RateSource(rows, rate=10000))
+            return [f"q{i}" for i in range(len(queries))]
+
+        assert_recycler_transparent(setup)

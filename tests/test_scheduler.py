@@ -9,7 +9,6 @@ from repro.core.factory import FAILED, Factory
 from repro.core.receptor import Receptor
 from repro.core.scheduler import PetriNetScheduler
 from repro.errors import SchedulerError
-from repro.mal.relation import Relation
 from repro.storage import Schema
 from repro.streams.source import ListSource
 

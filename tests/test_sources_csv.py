@@ -1,7 +1,6 @@
 """Tests for CSVSource and time-based stream-stream joins (coverage
 gaps)."""
 
-import pytest
 
 from repro.core.engine import DataCellEngine
 from repro.streams.source import CSVSource, RateSource
