@@ -4,9 +4,10 @@ Usage::
 
     python benchmarks/bench_smoke.py [--quick] [--outdir DIR]
 
-Runs the two experiments the shared-work PRs track for regressions —
-E2 (standing-query scaling + recycler on/off ablation) and E9 (basket
-ingest/retention mechanics) — and writes ``BENCH_E2.json`` and
+Runs the experiments the stacked PRs track for regressions — E2
+(standing-query scaling + recycler on/off ablation), E8 (serial vs
+worker-pool parallel ablation) and E9 (basket ingest/retention
+mechanics) — and writes ``BENCH_E2.json``, ``BENCH_E8.json`` and
 ``BENCH_E9.json`` to the repo root (or ``--outdir``). CI runs
 ``--quick`` so drift is caught without a full experiment sweep;
 ``repro.bench.reporting.compare_runs`` diffs two archives.
@@ -21,7 +22,8 @@ import sys
 sys.path.insert(0, os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))))
 
-from benchmarks import bench_e2_multiquery, bench_e9_baskets
+from benchmarks import (bench_e2_multiquery, bench_e8_scheduler,
+                        bench_e9_baskets)
 from repro.bench.reporting import save_json
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -32,6 +34,13 @@ def run_e2(quick: bool):
     scaling = bench_e2_multiquery.run_experiment()
     ablation = bench_e2_multiquery.run_recycler_experiment(nrows)
     return [scaling, ablation]
+
+
+def run_e8(quick: bool):
+    nrows = 8_000 if quick else bench_e8_scheduler.PAR_ROWS
+    repeats = 1 if quick else 3
+    return [bench_e8_scheduler.run_parallel_ablation(
+        nrows=nrows, repeats=repeats)]
 
 
 def run_e9(quick: bool):
@@ -55,6 +64,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     for name, runner in (("BENCH_E2.json", run_e2),
+                         ("BENCH_E8.json", run_e8),
                          ("BENCH_E9.json", run_e9)):
         tables = runner(args.quick)
         for table in tables:

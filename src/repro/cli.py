@@ -22,6 +22,7 @@ runtime:
 ``.network``       the query-network pane (demo Fig. 3)
 ``.analysis``      the performance pane (demo Fig. 4)
 ``.recycler``      shared-work cache counters (hits/misses/evictions)
+``.scheduler``     worker-pool / wave counters and failure totals
 ``.queries``       list standing queries
 ``.help / .quit``
 =================  ====================================================
@@ -219,6 +220,18 @@ class DataCellShell:
                     "evictions", "invalidations", "entries", "bytes",
                     "budget_bytes"):
             self._print(f"  {key}: {stats[key]}")
+
+    def _cmd_scheduler(self, arg: str) -> None:
+        sched = self.engine.scheduler
+        mode = "parallel" if sched.parallel_workers > 1 else "serial"
+        self._print(f"scheduler [{mode}]:")
+        self._print(f"  steps: {sched.steps}")
+        self._print(f"  total_fired: {sched.total_fired}")
+        for key, value in sched.parallel_stats().items():
+            self._print(f"  {key}: {value}")
+        self._print(f"  failed_total: {sched.failed_total}")
+        for exc in sched.failed:
+            self._print(f"    {exc}")
 
     def _cmd_queries(self, arg: str) -> None:
         queries = self.engine.queries()

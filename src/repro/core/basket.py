@@ -11,6 +11,18 @@ addressed by *absolute oids* that stay stable as the head is dropped, so
 window bookkeeping survives draining. Each standing query registers a
 :class:`Subscription`; :meth:`Basket.vacuum` deletes the prefix that
 every subscription has released.
+
+Concurrency contract (audited for the scheduler's parallel firing
+waves): every structural mutation — append, vacuum, subscribe — and
+every read that derives positions from ``first_oid`` holds the basket
+lock, so threaded receptors and concurrent factory reads interleave
+safely. A :class:`Subscription`'s cursors are single-writer (only the
+owning factory advances them, under its firing lock); vacuum merely
+*reads* ``released_upto``, and a stale read is safe — it can only make
+vacuum drop less than it could, never tuples a subscriber still needs.
+The parallel scheduler additionally guarantees a basket is never
+appended to (output-basket writer) concurrently with a factory reading
+it: such factories conflict and are fired in separate waves.
 """
 
 from __future__ import annotations
@@ -64,6 +76,7 @@ class Basket:
         self._arrival = BAT(dt.TIMESTAMP)
         self._subs: Dict[str, Subscription] = {}
         self._lock = threading.RLock()
+        self._pins = 0
         self.locked_by: Optional[str] = None
         # statistics (the demo's monitoring pane reads these)
         self.total_in = 0
@@ -72,6 +85,10 @@ class Basket:
         self.paused = False
 
     # -- oid bookkeeping ------------------------------------------------
+    # the oid properties are intentionally lock-free: each is a single
+    # read of values the GIL keeps coherent, and callers that need a
+    # consistent (first, next) pair go through clamp_range/relation,
+    # which take the lock
 
     @property
     def first_oid(self) -> int:
@@ -196,14 +213,18 @@ class Basket:
             self._subs.pop(name, None)
 
     def subscriptions(self) -> List[Subscription]:
-        return list(self._subs.values())
+        with self._lock:
+            return list(self._subs.values())
 
     def vacuum(self) -> int:
         """Drop the prefix every subscription has released; returns the
         number of tuples dropped. With no subscribers nothing is dropped
-        (the basket is then an unread buffer, like a table)."""
+        (the basket is then an unread buffer, like a table). While any
+        factory pins the basket (a plan body in flight) vacuuming is
+        deferred to the next step — dropping the head would shift
+        positions under a concurrent reader."""
         with self._lock:
-            if not self._subs:
+            if self._pins or not self._subs:
                 return 0
             floor = min(s.released_upto for s in self._subs.values())
             drop = floor - self.first_oid
@@ -216,20 +237,30 @@ class Basket:
             return drop
 
     # -- locking (factories bracket plan bodies with these) -------------------------
+    # a *shared* pin latch, not an exclusive hold: concurrently firing
+    # factories all read immutable materialized slices, so excluding
+    # each other would serialize the scheduler's parallel waves for no
+    # correctness gain. Pinning only defers vacuum (the one structural
+    # change that shifts positions); appends stay safe because slices
+    # snapshot the oid range before the plan body runs.
 
     def lock(self, owner: str) -> None:
-        self._lock.acquire()
-        self.locked_by = owner
+        with self._lock:
+            self._pins += 1
+            self.locked_by = owner
 
     def unlock(self, owner: str) -> None:
-        self.locked_by = None
-        self._lock.release()
+        with self._lock:
+            self._pins = max(self._pins - 1, 0)
+            if self._pins == 0:
+                self.locked_by = None
 
     def stats(self) -> Dict[str, int]:
-        return {"size": len(self), "total_in": self.total_in,
-                "total_dropped": self.total_dropped,
-                "high_water": self.high_water,
-                "subscribers": len(self._subs)}
+        with self._lock:
+            return {"size": len(self), "total_in": self.total_in,
+                    "total_dropped": self.total_dropped,
+                    "high_water": self.high_water,
+                    "subscribers": len(self._subs)}
 
     def __repr__(self) -> str:
         return (f"Basket({self.name}, size={len(self)}, "

@@ -84,7 +84,14 @@ class DataCellEngine:
     def __init__(self, clock: Optional[Clock] = None,
                  recycler_enabled: bool = True,
                  recycler_budget_bytes: int = DEFAULT_BUDGET_BYTES,
-                 recycler_verify: bool = False):
+                 recycler_verify: bool = False,
+                 parallel_workers: Optional[int] = None):
+        """``parallel_workers`` sizes the scheduler's firing pool:
+        ``None``/``1`` (default) keeps the serial cascade — the
+        deterministic path every SimulatedClock run gets unless
+        parallelism is explicitly requested — ``0`` or ``"auto"`` uses
+        one worker per core, any other int is a literal thread count.
+        Emitted results are byte-identical either way."""
         self.clock = clock if clock is not None else SimulatedClock()
         self.catalog = Catalog()
         self.recycler = Recycler(recycler_budget_bytes,
@@ -92,11 +99,22 @@ class DataCellEngine:
                                  verify=recycler_verify)
         self.scheduler = PetriNetScheduler(
             self.clock,
-            recycler=self.recycler if recycler_enabled else None)
+            recycler=self.recycler if recycler_enabled else None,
+            parallel_workers=parallel_workers)
         self.monitor = Monitor(self)
         self._receptors: Dict[str, List[Receptor]] = {}
         self._queries: Dict[str, ContinuousQuery] = {}
         self._qcounter = 0
+
+    def close(self) -> None:
+        """Release the scheduler's worker pool (no-op when serial)."""
+        self.scheduler.shutdown()
+
+    def __enter__(self) -> "DataCellEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # time

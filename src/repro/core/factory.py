@@ -17,8 +17,9 @@ Two concrete factories implement the demo's two execution modes:
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.basket import Basket
 from repro.core.emitter import Emitter
@@ -71,6 +72,10 @@ class Factory:
         self.busy_seconds = 0.0
         self.last_error: Optional[Exception] = None
         self.last_result: Optional[Relation] = None
+        # one firing at a time per factory: the parallel scheduler only
+        # ever schedules a factory into one wave slot, but engine-level
+        # callers (live mode, shell) may also fire concurrently
+        self._fire_lock = threading.Lock()
 
     # scheduler protocol ------------------------------------------------
 
@@ -82,32 +87,60 @@ class Factory:
         raise NotImplementedError
 
     def fire(self, now: int) -> Optional[Relation]:
-        """One firing; delivers to the emitter and returns the result."""
+        """One firing; delivers to the emitter and returns the result.
+
+        Evaluation is split in two: :meth:`_evaluate` computes the
+        result and *returns* its consumption bound, then
+        :meth:`_commit` advances the window cursors. Keeping the
+        shared-state mutation out of the evaluation body means a
+        concurrent observer (vacuum, monitor) never sees a half-fired
+        cursor, and a failed evaluation leaves the cursors untouched.
+        """
         if self.state != RUNNING:
             return None
-        started = time.perf_counter()
-        try:
-            result = self._evaluate(now)
-        except Exception as exc:  # quarantine the factory, keep the net
-            self.state = FAILED
-            self.last_error = exc
-            raise FactoryError(
-                f"factory {self.name!r} failed: {exc}", self.name,
-                cause=exc) from exc
-        finally:
-            self.busy_seconds += time.perf_counter() - started
-        self.fires += 1
-        self.last_result = result
-        if result is not None:
-            self.rows_out += result.row_count
-            self.emitter.deliver(result, now)
-        return result
+        with self._fire_lock:
+            started = time.perf_counter()
+            try:
+                result, consumed = self._evaluate(now)
+                self._commit(now, consumed)
+            except Exception as exc:  # quarantine factory, keep the net
+                self.state = FAILED
+                self.last_error = exc
+                raise FactoryError(
+                    f"factory {self.name!r} failed: {exc}", self.name,
+                    cause=exc) from exc
+            finally:
+                self.busy_seconds += time.perf_counter() - started
+            self.fires += 1
+            self.last_result = result
+            if result is not None:
+                self.rows_out += result.row_count
+                self.emitter.deliver(result, now)
+            return result
 
-    def _evaluate(self, now: int) -> Optional[Relation]:
+    def _evaluate(self, now: int
+                  ) -> Tuple[Optional[Relation], Optional[Any]]:
+        """Compute one firing's result; returns ``(result, consumed)``
+        where *consumed* is the consumption bound handed to
+        :meth:`_commit` (shape is subclass-private)."""
         raise NotImplementedError
+
+    def _commit(self, now: int, consumed: Optional[Any]) -> None:
+        """Advance window cursors/subscriptions after a successful
+        evaluation."""
+        return None
 
     def input_streams(self) -> List[str]:
         return sorted(self.baskets)
+
+    def write_streams(self) -> List[str]:
+        """Baskets this factory appends results to (its output
+        baskets); the parallel scheduler's conflict analysis keys on
+        these."""
+        from repro.core.emitter import BasketSink
+
+        return sorted({sink.basket.name for sink in self.emitter.sinks
+                       if isinstance(sink, BasketSink)})
 
     def pause(self) -> None:
         if self.state == RUNNING:
@@ -188,7 +221,8 @@ class ReevalFactory(Factory):
                 oldest = t if oldest is None else min(oldest, t)
         return oldest is not None and now - oldest >= self.max_delay_ms
 
-    def _evaluate(self, now: int) -> Optional[Relation]:
+    def _evaluate(self, now: int
+                  ) -> Tuple[Optional[Relation], Dict[str, int]]:
         slices: Dict[str, Relation] = {}
         ranges: Dict[str, tuple] = {}
         for stream, ws in self.window_states.items():
@@ -212,9 +246,13 @@ class ReevalFactory(Factory):
                                 fingerprints=self._fingerprints,
                                 window_ranges=ranges)
         result = interp.run(self.program)
+        return result, {stream: hi for stream, (_lo, hi)
+                        in ranges.items()}
+
+    def _commit(self, now: int,
+                consumed: Optional[Dict[str, int]]) -> None:
         for stream, ws in self.window_states.items():
-            ws.advance(now, consumed_upto=ranges[stream][1])
-        return result
+            ws.advance(now, consumed_upto=consumed[stream])
 
 
 class IncrementalFactory(Factory):
@@ -258,18 +296,20 @@ class IncrementalFactory(Factory):
             return False
         return all(t.ready(now) for t in self.trackers.values())
 
-    def _evaluate(self, now: int) -> Optional[Relation]:
+    def _evaluate(self, now: int
+                  ) -> Tuple[Optional[Relation], None]:
         compositions = {}
         for stream, tracker in self.trackers.items():
             _k, bws = tracker.window_composition()
             compositions[stream] = bws
-        result = self.executor.fire(compositions)
+        return self.executor.fire(compositions), None
+
+    def _commit(self, now: int, consumed: None) -> None:
         floors: Dict[str, int] = {}
         for stream, tracker in self.trackers.items():
             tracker.advance()
             floors[stream] = tracker.live_floor()
         self.executor.evict(floors)
-        return result
 
     def stats(self) -> Dict[str, float]:
         out = super().stats()

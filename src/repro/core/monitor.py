@@ -110,6 +110,18 @@ class Monitor:
                     f"{k}={v}" for k, v in sorted(extra.items())))
         lines.append(f"  network totals: in={total_in} out={total_out} "
                      f"busy={busy:.4f}s")
+        sched = eng.scheduler
+        if sched.parallel_workers > 1:
+            pstats = sched.parallel_stats()
+            lines.append(
+                f"  scheduler [parallel={pstats['workers']} workers]: "
+                f"waves={pstats['waves']} "
+                f"max_width={pstats['max_wave_width']} "
+                f"avg_width={pstats['avg_wave_width']} "
+                f"parallel_fires={pstats['parallel_fires']}")
+        if sched.failed_total:
+            lines.append(f"  failures: total={sched.failed_total} "
+                         f"(last {len(sched.failed)} kept)")
         recycler = getattr(eng, "recycler", None)
         if recycler is not None:
             stats = recycler.stats()

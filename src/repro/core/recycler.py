@@ -35,6 +35,7 @@ outputs), which is what makes this safe.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Iterable, Optional, Tuple
 
@@ -91,6 +92,13 @@ class Recycler:
         self.enabled = enabled
         self.verify = verify
         self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        # concurrent factory firings (the scheduler's worker pool)
+        # share this cache: every get/put/evict holds the lock so the
+        # LRU order, byte accounting and counters stay consistent.
+        # Payload materialization happens outside the lock — a racing
+        # double-materialize is benign (both values are equal; one
+        # wins the put)
+        self._mutex = threading.Lock()
         self.bytes_used = 0
         self.hits = 0
         self.misses = 0
@@ -100,7 +108,8 @@ class Recycler:
         self.slice_misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mutex:
+            return len(self._entries)
 
     # -- generic entry plumbing ----------------------------------------
 
@@ -140,13 +149,15 @@ class Recycler:
         if not self.enabled:
             return basket.relation(lo, hi), (lo, hi)
         key = (_SLICE, basket.name, lo, hi)
-        entry = self._get(key)
-        if entry is not None:
-            self.slice_hits += 1
-            return entry.value, (lo, hi)
-        self.slice_misses += 1
+        with self._mutex:
+            entry = self._get(key)
+            if entry is not None:
+                self.slice_hits += 1
+                return entry.value, (lo, hi)
+            self.slice_misses += 1
         rel = basket.relation(lo, hi)
-        self._put(key, rel, ((basket.name, lo, hi),))
+        with self._mutex:
+            self._put(key, rel, ((basket.name, lo, hi),))
         return rel, (lo, hi)
 
     # -- instruction intermediates -------------------------------------
@@ -160,17 +171,19 @@ class Recycler:
         """``(found, value)`` for an instruction-intermediate key."""
         if not self.enabled:
             return False, None
-        entry = self._get(key)
-        if entry is None:
-            self.misses += 1
-            return False, None
-        self.hits += 1
-        return True, entry.value
+        with self._mutex:
+            entry = self._get(key)
+            if entry is None:
+                self.misses += 1
+                return False, None
+            self.hits += 1
+            return True, entry.value
 
     def store(self, key: tuple, value: Any) -> None:
         if not self.enabled:
             return
-        self._put(key, value, key[2])
+        with self._mutex:
+            self._put(key, value, key[2])
 
     # -- invalidation ---------------------------------------------------
 
@@ -178,60 +191,64 @@ class Recycler:
         """Drop entries whose windows are entirely below the vacuumed
         ``first_oid`` of their basket (they can never be requested
         again). *floors* maps basket name -> current first_oid."""
-        if not self._entries:
-            return 0
-        dead = []
-        for key, entry in self._entries.items():
-            ranges = entry.ranges
-            if not ranges:
-                continue
-            gone = True
-            for name, _lo, hi in ranges:
-                floor = floors.get(name)
-                if floor is None or hi > floor:
-                    gone = False
-                    break
-            if gone:
-                dead.append(key)
-        for key in dead:
-            entry = self._entries.pop(key)
-            self.bytes_used -= entry.nbytes
-            self.invalidations += 1
-        return len(dead)
+        with self._mutex:
+            if not self._entries:
+                return 0
+            dead = []
+            for key, entry in self._entries.items():
+                ranges = entry.ranges
+                if not ranges:
+                    continue
+                gone = True
+                for name, _lo, hi in ranges:
+                    floor = floors.get(name)
+                    if floor is None or hi > floor:
+                        gone = False
+                        break
+                if gone:
+                    dead.append(key)
+            for key in dead:
+                entry = self._entries.pop(key)
+                self.bytes_used -= entry.nbytes
+                self.invalidations += 1
+            return len(dead)
 
     def purge_basket(self, basket_name: str) -> int:
         """Drop every entry touching *basket_name* (stream dropped or
         re-created: its oid sequence restarts, so keyed ranges would
         alias)."""
         basket_name = basket_name.lower()
-        dead = [key for key, entry in self._entries.items()
-                if any(name == basket_name for name, _l, _h in
-                       entry.ranges)]
-        for key in dead:
-            entry = self._entries.pop(key)
-            self.bytes_used -= entry.nbytes
-            self.invalidations += 1
-        return len(dead)
+        with self._mutex:
+            dead = [key for key, entry in self._entries.items()
+                    if any(name == basket_name for name, _l, _h in
+                           entry.ranges)]
+            for key in dead:
+                entry = self._entries.pop(key)
+                self.bytes_used -= entry.nbytes
+                self.invalidations += 1
+            return len(dead)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.bytes_used = 0
+        with self._mutex:
+            self._entries.clear()
+            self.bytes_used = 0
 
     # -- reporting -------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "enabled": int(self.enabled),
-            "entries": len(self._entries),
-            "bytes": self.bytes_used,
-            "budget_bytes": self.budget_bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "slice_hits": self.slice_hits,
-            "slice_misses": self.slice_misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-        }
+        with self._mutex:
+            return {
+                "enabled": int(self.enabled),
+                "entries": len(self._entries),
+                "bytes": self.bytes_used,
+                "budget_bytes": self.budget_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "slice_hits": self.slice_hits,
+                "slice_misses": self.slice_misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
 
     def __repr__(self) -> str:
         return (f"Recycler(entries={len(self._entries)}, "

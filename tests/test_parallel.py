@@ -1,0 +1,220 @@
+"""Parallel firing ≡ serial firing: byte-identical emitted results.
+
+The worker-pool scheduler (``parallel_workers > 1``) must be an
+execution-strategy change only: every standing query's emission log —
+firing times and row payloads — matches the serial cascade exactly, on
+filter fleets, windowed aggregates, chained networks and random
+hypothesis-generated workloads (the recycler on≡off property pattern
+from ``test_recycler.py``, applied to the worker pool).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import DataCellEngine
+from repro.streams.source import RateSource
+
+SENSOR_DDL = ("CREATE STREAM sensors (sensor_id INT, room INT, "
+              "temperature FLOAT, humidity FLOAT)")
+
+
+def sensor_rows_det(n):
+    return [(i % 8, i % 4, float((i * 7) % 30), float(i % 100) / 2)
+            for i in range(n)]
+
+
+def emitted(engine, names):
+    """Per-query emission log: (fire time, rows) pairs, unrounded."""
+    return {name: [(t, r.to_rows()) for t, r in
+                   engine.results(name).batches] for name in names}
+
+
+def run_workload(parallel_workers, setup, **engine_kwargs):
+    with DataCellEngine(parallel_workers=parallel_workers,
+                        **engine_kwargs) as engine:
+        names = setup(engine)
+        engine.run_until_drained()
+        assert not engine.scheduler.failed, list(engine.scheduler.failed)
+        return emitted(engine, names), engine.scheduler.parallel_stats()
+
+
+def assert_parallel_transparent(setup, workers=4, **engine_kwargs):
+    serial, _ = run_workload(1, setup, **engine_kwargs)
+    parallel, pstats = run_workload(workers, setup, **engine_kwargs)
+    assert parallel == serial
+    return pstats
+
+
+class TestEquivalence:
+    def test_filter_fleet(self):
+        def setup(engine):
+            engine.execute(SENSOR_DDL)
+            for i in range(12):
+                engine.register_continuous(
+                    f"SELECT sensor_id, temperature FROM sensors "
+                    f"WHERE temperature > {10 + (i % 4)}", name=f"q{i}")
+            engine.attach_source(
+                "sensors", RateSource(sensor_rows_det(2000), rate=50000))
+            return [f"q{i}" for i in range(12)]
+
+        pstats = assert_parallel_transparent(setup)
+        # 12 independent readers of one stream share each wave
+        assert pstats["max_wave_width"] == 12
+        assert pstats["parallel_fires"] > 0
+
+    def test_filter_fleet_without_recycler(self):
+        def setup(engine):
+            engine.execute(SENSOR_DDL)
+            for i in range(6):
+                engine.register_continuous(
+                    f"SELECT sensor_id FROM sensors "
+                    f"WHERE temperature > {12 + i}", name=f"q{i}")
+            engine.attach_source(
+                "sensors", RateSource(sensor_rows_det(800), rate=50000))
+            return [f"q{i}" for i in range(6)]
+
+        assert_parallel_transparent(setup, recycler_enabled=False)
+
+    def test_windowed_aggregates_both_modes(self):
+        def setup(engine):
+            engine.execute(SENSOR_DDL)
+            engine.register_continuous(
+                "SELECT room, count(*), sum(temperature) FROM sensors "
+                "[RANGE 300 SLIDE 100] GROUP BY room ORDER BY room",
+                name="re", mode="reeval")
+            engine.register_continuous(
+                "SELECT room, count(*), sum(temperature) FROM sensors "
+                "[RANGE 300 SLIDE 100] GROUP BY room ORDER BY room",
+                name="inc", mode="incremental")
+            engine.register_continuous(
+                "SELECT min(temperature), max(temperature) FROM "
+                "sensors [RANGE 200 SLIDE 50]", name="mm", mode="reeval")
+            engine.attach_source(
+                "sensors", RateSource(sensor_rows_det(1500), rate=50000))
+            return ["re", "inc", "mm"]
+
+        assert_parallel_transparent(setup)
+
+    def test_chained_network_topological(self):
+        """A two-stage chained network: stage 2 reads stage 1's output
+        basket, so the writer must fire in an earlier wave."""
+        def setup(engine):
+            engine.execute(SENSOR_DDL)
+            engine.register_continuous(
+                "SELECT sensor_id, room, temperature FROM sensors "
+                "WHERE temperature > 10", name="stage1",
+                output_stream="hot")
+            engine.register_continuous(
+                "SELECT room, count(*) FROM hot GROUP BY room "
+                "ORDER BY room", name="stage2")
+            engine.attach_source(
+                "sensors", RateSource(sensor_rows_det(1200), rate=50000))
+            return ["stage1", "stage2"]
+
+        assert_parallel_transparent(setup)
+
+    def test_two_stream_join(self):
+        def setup(engine):
+            engine.execute(SENSOR_DDL)
+            engine.execute("CREATE STREAM alerts (room INT, level INT)")
+            engine.register_continuous(
+                "SELECT s.sensor_id, a.level FROM sensors "
+                "[RANGE 100 SLIDE 50] s, alerts [RANGE 100 SLIDE 50] a "
+                "WHERE s.room = a.room AND s.temperature > 12",
+                name="j", mode="reeval")
+            engine.register_continuous(
+                "SELECT room, count(*) FROM alerts GROUP BY room "
+                "ORDER BY room", name="agg")
+            engine.attach_source(
+                "sensors", RateSource(sensor_rows_det(1000), rate=50000))
+            engine.attach_source(
+                "alerts", RateSource([(i % 4, i % 3) for i in range(500)],
+                                     rate=25000))
+            return ["j", "agg"]
+
+        assert_parallel_transparent(setup)
+
+    def test_verify_mode_under_parallelism(self):
+        """Recycler verify re-executes every hit on worker threads."""
+        def setup(engine):
+            engine.execute(SENSOR_DDL)
+            for i in range(4):
+                engine.register_continuous(
+                    "SELECT sensor_id, temperature FROM sensors "
+                    "WHERE temperature > 12", name=f"q{i}")
+            engine.attach_source(
+                "sensors", RateSource(sensor_rows_det(600), rate=50000))
+            return [f"q{i}" for i in range(4)]
+
+        assert_parallel_transparent(setup, recycler_verify=True)
+
+
+class TestFailurePaths:
+    def test_parallel_failure_marks_only_that_factory(self):
+        with DataCellEngine(parallel_workers=4) as engine:
+            engine.execute(SENSOR_DDL)
+            bad = engine.register_continuous(
+                "SELECT sensor_id FROM sensors", name="bad")
+            engine.register_continuous(
+                "SELECT temperature FROM sensors", name="good")
+
+            def explode(now):
+                raise RuntimeError("injected")
+
+            bad.factory._evaluate = explode
+            engine.feed("sensors", [(1, 0, 30.0, 40.0)])
+            engine.step()
+            assert bad.factory.state == "failed"
+            assert engine.scheduler.failed_total == 1
+            assert engine.results("good").rows() == [(30.0,)]
+            # the net keeps running without the quarantined factory
+            engine.feed("sensors", [(2, 1, 20.0, 30.0)])
+            engine.step()
+            assert engine.results("good").rows() == [(30.0,), (20.0,)]
+
+
+class TestStress:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_property_parallel_equals_serial(self, data):
+        n = data.draw(st.integers(20, 120), label="rows")
+        rows = [(data.draw(st.integers(0, 3)),
+                 data.draw(st.one_of(
+                     st.none(),
+                     st.floats(-50, 50, allow_nan=False))))
+                for _ in range(n)]
+        slide = data.draw(st.integers(1, 8), label="slide")
+        size = slide * data.draw(st.integers(1, 5), label="factor")
+        windowed = data.draw(st.booleans(), label="windowed")
+        chained = data.draw(st.booleans(), label="chained")
+        workers = data.draw(st.integers(2, 6), label="workers")
+        window = f" [RANGE {size} SLIDE {slide}]" if windowed else ""
+        queries = [
+            f"SELECT k, count(*), sum(v) FROM s{window} GROUP BY k "
+            f"ORDER BY k",
+            f"SELECT k, v FROM s{window} WHERE v > 0",
+            f"SELECT k, v FROM s{window} WHERE v > 0",   # exact twin
+        ]
+
+        def setup(engine):
+            engine.execute("CREATE STREAM s (k INT, v FLOAT)")
+            names = []
+            for i, sql in enumerate(queries):
+                engine.register_continuous(sql, name=f"q{i}",
+                                           mode="reeval")
+                names.append(f"q{i}")
+            if chained:
+                engine.register_continuous(
+                    "SELECT k, v FROM s WHERE v > 5", name="up",
+                    output_stream="mid")
+                engine.register_continuous(
+                    "SELECT k, count(*) FROM mid GROUP BY k ORDER BY k",
+                    name="down")
+                names += ["up", "down"]
+            engine.attach_source("s", RateSource(rows, rate=10000))
+            return names
+
+        assert_parallel_transparent(setup, workers=workers)

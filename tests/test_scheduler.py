@@ -31,10 +31,12 @@ class StubFactory(Factory):
             raise ValueError("boom")
         lo, hi = self.sub.read_upto, self.basket.next_oid
         out = self.basket.relation(lo, hi)
-        self.sub.read_upto = hi
-        self.sub.release(hi)
         self.tuples_in += out.row_count
-        return out
+        return out, hi
+
+    def _commit(self, now, consumed):
+        self.sub.read_upto = consumed
+        self.sub.release(consumed)
 
 
 @pytest.fixture
@@ -57,6 +59,17 @@ class TestRegistration:
         scheduler.add_factory(StubFactory("f", basket))
         scheduler.remove_factory("f")
         assert scheduler.factories == []
+
+    def test_mixed_case_basket_registered_and_removed(self, net):
+        """A basket whose name somehow kept mixed case must still be
+        registered and removed under the lowercase key."""
+        scheduler, _basket, _clock = net
+        rogue = Basket("t", Schema.parse([("k", "INT")]))
+        rogue.name = "MixedCase"  # simulate a non-normalizing builder
+        scheduler.add_basket(rogue)
+        assert "mixedcase" in scheduler.baskets
+        scheduler.remove_basket("MixedCase")
+        assert "mixedcase" not in scheduler.baskets
 
 
 class TestStep:
@@ -165,19 +178,187 @@ class TestStats:
         assert stats["steps"] == 1
 
 
+class Greedy(StubFactory):
+    """Always enabled, never consumes — the livelock/burst pathology."""
+
+    def enabled(self, now):
+        return True
+
+    def _evaluate(self, now):
+        return None, None
+
+    def _commit(self, now, consumed):
+        return None
+
+
 class TestLivelockGuard:
     def test_nonquiescing_network_raises(self, net):
         """A factory that is always enabled but never consumes must be
         detected instead of hanging the step loop."""
         scheduler, basket, _clock = net
-
-        class Greedy(StubFactory):
-            def enabled(self, now):
-                return True
-
-            def _evaluate(self, now):
-                return None
-
         scheduler.add_factory(Greedy("greedy", basket))
         with pytest.raises(SchedulerError, match="quiesce"):
             scheduler.step()
+
+    def test_burst_guard_message_names_factory(self, net):
+        scheduler, basket, _clock = net
+        scheduler.add_factory(Greedy("greedy", basket))
+        with pytest.raises(SchedulerError, match="greedy"):
+            scheduler.step()
+
+    def test_burst_guard_in_parallel_mode(self):
+        clock = SimulatedClock()
+        scheduler = PetriNetScheduler(clock, parallel_workers=2)
+        basket = Basket("s", Schema.parse([("k", "INT")]))
+        scheduler.add_basket(basket)
+        scheduler.add_factory(Greedy("g1", basket))
+        scheduler.add_factory(Greedy("g2", basket))
+        try:
+            with pytest.raises(SchedulerError, match="quiesce"):
+                scheduler.step()
+        finally:
+            scheduler.shutdown()
+
+
+class TestFailureBookkeeping:
+    def test_failed_factories_skipped_in_enabled_transitions(self, net):
+        scheduler, basket, _clock = net
+        scheduler.add_receptor(Receptor("r", basket,
+                                        ListSource([(0, (1,))])))
+        bad = StubFactory("bad", basket, fail_after=0)
+        good = StubFactory("good", basket)
+        scheduler.add_factory(bad)
+        scheduler.add_factory(good)
+        scheduler.step()
+        assert bad.state == FAILED
+        basket.append_rows([(2,)], now=0)
+        enabled = scheduler.enabled_transitions()
+        assert bad not in enabled and good in enabled
+
+    def test_failed_list_is_bounded(self):
+        """A persistently failing factory must not grow the error list
+        without limit; the total keeps counting."""
+        clock = SimulatedClock()
+        scheduler = PetriNetScheduler(clock, max_failed_kept=5)
+        basket = Basket("s", Schema.parse([("k", "INT")]))
+        scheduler.add_basket(basket)
+
+        class Phoenix(StubFactory):
+            def _evaluate(self, now):
+                raise ValueError("boom")
+
+        for i in range(12):
+            phoenix = Phoenix(f"p{i}", basket)
+            scheduler.add_factory(phoenix)
+            basket.append_rows([(i,)], now=0)
+            scheduler.step()
+            scheduler.remove_factory(phoenix.name)
+            basket.unsubscribe(phoenix.name)
+        assert scheduler.failed_total == 12
+        assert len(scheduler.failed) == 5
+        stats = scheduler.network_stats()
+        assert stats["failed_total"] == 12
+        assert len(stats["failed"]) == 5
+
+
+class OutBasketFactory(StubFactory):
+    """Stub with an explicit write set (simulates output_stream)."""
+
+    def __init__(self, name, basket, out_basket):
+        super().__init__(name, basket)
+        self.out_basket = out_basket
+
+    def write_streams(self):
+        return [self.out_basket.name]
+
+
+class TestWavePartitioning:
+    def _net(self, workers=2):
+        clock = SimulatedClock()
+        scheduler = PetriNetScheduler(clock, parallel_workers=workers)
+        schema = Schema.parse([("k", "INT")])
+        return scheduler, schema
+
+    def test_readers_share_a_wave(self):
+        scheduler, schema = self._net()
+        basket = Basket("s", schema)
+        scheduler.add_basket(basket)
+        factories = [StubFactory(f"f{i}", basket) for i in range(4)]
+        waves = scheduler._partition_waves(factories)
+        assert len(waves) == 1 and len(waves[0]) == 4
+
+    def test_writer_separated_from_readers(self):
+        scheduler, schema = self._net()
+        src = Basket("src", schema)
+        out = Basket("out", schema)
+        for basket in (src, out):
+            scheduler.add_basket(basket)
+        upstream = OutBasketFactory("up", src, out)
+        downstream = StubFactory("down", out)
+        sibling = StubFactory("sib", src)
+        waves = scheduler._partition_waves([upstream, downstream,
+                                            sibling])
+        # writer fires before its reader; the unrelated reader of src
+        # shares the writer's wave
+        assert waves[0] == [upstream, sibling]
+        assert waves[1] == [downstream]
+
+    def test_conflicting_writers_keep_list_order(self):
+        scheduler, schema = self._net()
+        src = Basket("src", schema)
+        out = Basket("out", schema)
+        for basket in (src, out):
+            scheduler.add_basket(basket)
+        w1 = OutBasketFactory("w1", src, out)
+        w2 = OutBasketFactory("w2", src, out)
+        waves = scheduler._partition_waves([w1, w2])
+        assert waves == [[w1], [w2]]
+
+    def test_parallel_step_fires_and_counts_waves(self):
+        scheduler, schema = self._net(workers=3)
+        basket = Basket("s", schema)
+        scheduler.add_basket(basket)
+        scheduler.add_receptor(Receptor(
+            "r", basket, ListSource([(0, (1,)), (0, (2,))])))
+        factories = [StubFactory(f"f{i}", basket) for i in range(3)]
+        for factory in factories:
+            scheduler.add_factory(factory)
+        try:
+            out = scheduler.step()
+        finally:
+            scheduler.shutdown()
+        assert out == {"ingested": 2, "fired": 3, "dropped": 2}
+        pstats = scheduler.parallel_stats()
+        assert pstats["workers"] == 3
+        assert pstats["waves"] >= 1
+        assert pstats["max_wave_width"] == 3
+        assert pstats["parallel_fires"] == 3
+        assert scheduler.network_stats()["parallel"]["waves"] >= 1
+
+    def test_parallel_failure_quarantines_only_that_factory(self):
+        scheduler, schema = self._net(workers=2)
+        basket = Basket("s", schema)
+        scheduler.add_basket(basket)
+        scheduler.add_receptor(Receptor(
+            "r", basket, ListSource([(0, (1,))])))
+        bad = StubFactory("bad", basket, fail_after=0)
+        good = StubFactory("good", basket)
+        scheduler.add_factory(bad)
+        scheduler.add_factory(good)
+        try:
+            out = scheduler.step()
+        finally:
+            scheduler.shutdown()
+        assert bad.state == FAILED
+        assert good.state == "running"
+        assert out["fired"] == 1
+        assert scheduler.failed_total == 1
+
+    def test_resolve_workers(self):
+        assert PetriNetScheduler._resolve_workers(None) == 1
+        assert PetriNetScheduler._resolve_workers(1) == 1
+        assert PetriNetScheduler._resolve_workers(3) == 3
+        assert PetriNetScheduler._resolve_workers(0) >= 1
+        assert PetriNetScheduler._resolve_workers("auto") >= 1
+        with pytest.raises(SchedulerError):
+            PetriNetScheduler._resolve_workers(-2)
