@@ -6,9 +6,10 @@ Usage::
 
 Runs the experiments the stacked PRs track for regressions — E2
 (standing-query scaling + recycler on/off ablation), E8 (serial vs
-worker-pool parallel ablation) and E9 (basket ingest/retention
-mechanics) — and writes ``BENCH_E2.json``, ``BENCH_E8.json`` and
-``BENCH_E9.json`` to the repo root (or ``--outdir``). CI runs
+worker-pool parallel ablation), E9 (basket ingest/retention
+mechanics) and E10n (network-edge loopback throughput) — and writes
+``BENCH_E2.json``, ``BENCH_E8.json``, ``BENCH_E9.json`` and
+``BENCH_E10.json`` to the repo root (or ``--outdir``). CI runs
 ``--quick`` so drift is caught without a full experiment sweep;
 ``repro.bench.reporting.compare_runs`` diffs two archives.
 """
@@ -23,7 +24,7 @@ sys.path.insert(0, os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))))
 
 from benchmarks import (bench_e2_multiquery, bench_e8_scheduler,
-                        bench_e9_baskets)
+                        bench_e9_baskets, bench_e10_net)
 from repro.bench.reporting import save_json
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -55,6 +56,12 @@ def run_e9(quick: bool):
     return bench_e9_baskets.run_experiment()
 
 
+def run_e10(quick: bool):
+    nrows = 2_000 if quick else bench_e10_net.N_ROWS
+    return [bench_e10_net.run_ingest_table(nrows),
+            bench_e10_net.run_delivery_table(nrows)]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -65,7 +72,8 @@ def main(argv=None) -> int:
 
     for name, runner in (("BENCH_E2.json", run_e2),
                          ("BENCH_E8.json", run_e8),
-                         ("BENCH_E9.json", run_e9)):
+                         ("BENCH_E9.json", run_e9),
+                         ("BENCH_E10.json", run_e10)):
         tables = runner(args.quick)
         for table in tables:
             print()

@@ -24,7 +24,8 @@ from benchmarks import (bench_e1_compile, bench_e2_multiquery,
                         bench_e5_complex, bench_e6_hybrid,
                         bench_e7_linearroad, bench_e8_scheduler,
                         bench_e9_baskets, bench_e10_ablation,
-                        bench_e11_indexing, bench_e12_storefirst)
+                        bench_e10_net, bench_e11_indexing,
+                        bench_e12_storefirst)
 
 EXPERIMENTS = [
     ("E1 — continuous-query compilation", bench_e1_compile),
@@ -37,6 +38,7 @@ EXPERIMENTS = [
     ("E8 — scheduler time constraints", bench_e8_scheduler),
     ("E9 — basket mechanics", bench_e9_baskets),
     ("E10 — caching ablation", bench_e10_ablation),
+    ("E10n — network edge loopback", bench_e10_net),
     ("E11 — indexing in a streaming setting", bench_e11_indexing),
     ("E12 — continuous vs store-first-query-later",
      bench_e12_storefirst),

@@ -10,6 +10,9 @@ Public API highlights:
 * :mod:`repro.sql` — the SQL compiler stack, usable standalone.
 * :mod:`repro.mal` — the columnar kernel (BATs, bulk operators, MAL
   programs).
+* :mod:`repro.net` — the network edge: the framed wire protocol, the
+  long-running :class:`~repro.net.server.DataCellServer` and the
+  blocking :class:`~repro.net.client.DataCellClient`.
 """
 
 from repro.core.engine import ContinuousQuery, DataCellEngine

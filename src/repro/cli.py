@@ -7,6 +7,13 @@ the same controls::
     python -m repro.cli              # interactive
     python -m repro.cli script.sql   # run a script, then exit
 
+The network-edge tools live behind subcommands (see
+:mod:`repro.net.cli`)::
+
+    python -m repro.cli serve --port 9001 --script init.sql
+    python -m repro.cli send sensors --port 9001 < rows.txt
+    python -m repro.cli tail hot_rooms --port 9001
+
 Plain input is SQL (terminated by ``;``). Dot-commands drive the
 runtime:
 
@@ -21,6 +28,7 @@ runtime:
 ``.explain x``     plan pane for a query name or SQL text
 ``.network``       the query-network pane (demo Fig. 3)
 ``.analysis``      the performance pane (demo Fig. 4)
+``.net``           the network-edge pane (per-connection counters)
 ``.recycler``      shared-work cache counters (hits/misses/evictions)
 ``.scheduler``     worker-pool / wave counters and failure totals
 ``.queries``       list standing queries
@@ -36,6 +44,25 @@ from typing import IO, List, Optional
 from repro.core.engine import DataCellEngine
 from repro.errors import DataCellError
 from repro.mal.relation import Relation
+
+
+def parse_row_values(text: str) -> List:
+    """Parse a comma-separated row of SQL-ish literals (numbers,
+    ``'strings'``, ``null``/empty) into Python values. Shared by the
+    shell's ``.feed`` and the ``repro send`` CLI."""
+    row = []
+    for cell in text.split(","):
+        cell = cell.strip()
+        if cell.lower() == "null" or cell == "":
+            row.append(None)
+        elif cell.startswith("'") and cell.endswith("'") and len(cell) > 1:
+            row.append(cell[1:-1])
+        else:
+            try:
+                row.append(int(cell))
+            except ValueError:
+                row.append(float(cell))
+    return row
 
 
 class DataCellShell:
@@ -157,18 +184,7 @@ class DataCellShell:
         """.feed stream v1, v2, ... — one tuple, values parsed as SQL
         literals (numbers, 'strings', null)."""
         stream, _sep, values = arg.partition(" ")
-        row = []
-        for cell in values.split(","):
-            cell = cell.strip()
-            if cell.lower() == "null" or cell == "":
-                row.append(None)
-            elif cell.startswith("'") and cell.endswith("'"):
-                row.append(cell[1:-1])
-            else:
-                try:
-                    row.append(int(cell))
-                except ValueError:
-                    row.append(float(cell))
+        row = parse_row_values(values)
         n = self.engine.feed(stream, [row])
         self.engine.step()
         self._print(f"+{n} tuple into {stream!r}")
@@ -211,6 +227,9 @@ class DataCellShell:
 
     def _cmd_analysis(self, arg: str) -> None:
         self._print(self.engine.monitor.analysis())
+
+    def _cmd_net(self, arg: str) -> None:
+        self._print(self.engine.monitor.net())
 
     def _cmd_recycler(self, arg: str) -> None:
         stats = self.engine.recycler.stats()
@@ -265,8 +284,15 @@ class DataCellShell:
                     f"({len(self.engine.monitor.samples)} samples)")
 
 
+NET_COMMANDS = ("serve", "send", "tail")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
+    if argv and argv[0] in NET_COMMANDS:
+        from repro.net.cli import main as net_main
+
+        return net_main(argv)
     shell = DataCellShell()
     if argv:
         with open(argv[0]) as f:

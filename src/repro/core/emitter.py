@@ -3,11 +3,15 @@
 A factory firing appends its (partial) result to the query's output
 side; the emitter drains that to a sink. Sinks collect, call back, or
 write out — the simulation-friendly stand-ins for the demo's network
-clients.
+clients — while :class:`QueueSink` is the real network variant: a
+bounded per-client delivery queue drained by a writer thread, with
+slow-consumer eviction instead of unbounded growth.
 """
 
 from __future__ import annotations
 
+import queue
+import threading
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.mal.relation import Relation
@@ -21,13 +25,43 @@ class Sink:
 
 
 class CollectingSink(Sink):
-    """Keeps every delivered batch; handy in tests and benchmarks."""
+    """Keeps delivered batches; handy in tests and benchmarks.
 
-    def __init__(self):
+    ``max_batches`` bounds the retained ring: once full, the oldest
+    batch is dropped per delivery (``dropped_batches`` counts them), so
+    long-lived live/server deployments can keep a standing query's
+    default sink without growing it forever. ``None`` (the default)
+    retains everything.
+    """
+
+    def __init__(self, max_batches: Optional[int] = None):
         self.batches: List[Tuple[int, Relation]] = []
+        self.dropped_batches = 0
+        self._max_batches: Optional[int] = None
+        self.set_max_batches(max_batches)
+
+    @property
+    def max_batches(self) -> Optional[int]:
+        return self._max_batches
+
+    def set_max_batches(self, max_batches: Optional[int]) -> None:
+        """(Re)bound the ring; trims the oldest batches immediately."""
+        if max_batches is not None and max_batches < 1:
+            raise ValueError("max_batches must be >= 1 (or None)")
+        self._max_batches = max_batches
+        self._trim()
+
+    def _trim(self) -> None:
+        if self._max_batches is None:
+            return
+        excess = len(self.batches) - self._max_batches
+        if excess > 0:
+            del self.batches[:excess]
+            self.dropped_batches += excess
 
     def deliver(self, result: Relation, now: int) -> None:
         self.batches.append((now, result))
+        self._trim()
 
     def rows(self) -> List[tuple]:
         out: List[tuple] = []
@@ -76,24 +110,103 @@ class BasketSink(Sink):
         self.basket.append_relation(result, now)
 
 
+class QueueSink(Sink):
+    """A bounded hand-off queue between the scheduler and one client.
+
+    The network edge attaches one per subscribed client: ``deliver``
+    (scheduler thread) enqueues ``(seq, now, relation)`` without ever
+    blocking, a writer thread drains with :meth:`get` and ships RESULT
+    frames. Batches stay in delivery order (FIFO queue, single writer).
+
+    When the client cannot keep up and the queue fills, the sink flips
+    to *evicted*: further deliveries are dropped and counted, and the
+    server tears the subscription down — a slow consumer must never
+    stall the engine or buffer unboundedly.
+    """
+
+    def __init__(self, name: str, max_batches: int = 256):
+        if max_batches < 1:
+            raise ValueError("max_batches must be >= 1")
+        self.name = name
+        self._queue: "queue.Queue[Tuple[int, int, Relation]]" = \
+            queue.Queue(maxsize=max_batches)
+        self._seq = 0
+        self._lock = threading.Lock()
+        self.evicted = False
+        self.delivered_batches = 0
+        self.delivered_rows = 0
+        self.dropped_batches = 0
+
+    def deliver(self, result: Relation, now: int) -> None:
+        with self._lock:
+            if self.evicted:
+                self.dropped_batches += 1
+                return
+            seq = self._seq
+            try:
+                self._queue.put_nowait((seq, now, result))
+            except queue.Full:
+                self.evicted = True
+                self.dropped_batches += 1
+                return
+            self._seq += 1
+            self.delivered_batches += 1
+            self.delivered_rows += result.row_count
+
+    def get(self, timeout: Optional[float] = None
+            ) -> Optional[Tuple[int, int, Relation]]:
+        """Next ``(seq, now, relation)`` or ``None`` on timeout."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+    def drained(self) -> bool:
+        return self._queue.empty()
+
+    def stats(self) -> dict:
+        return {"queue_depth": self.depth(),
+                "delivered_batches": self.delivered_batches,
+                "delivered_rows": self.delivered_rows,
+                "dropped_batches": self.dropped_batches,
+                "evicted": self.evicted}
+
+
 class Emitter:
-    """Fans one query's result batches out to its sinks."""
+    """Fans one query's result batches out to its sinks.
+
+    Sink registration is thread-safe: the network edge attaches and
+    detaches subscriber sinks from connection threads while the
+    scheduler (or a parallel worker) is delivering.
+    """
 
     def __init__(self, name: str):
         self.name = name
         self.sinks: List[Sink] = []
+        self._sinks_lock = threading.Lock()
         self.total_batches = 0
         self.total_rows = 0
         self.last_delivery_time: Optional[int] = None
 
     def add_sink(self, sink: Sink) -> None:
-        self.sinks.append(sink)
+        with self._sinks_lock:
+            self.sinks.append(sink)
+
+    def remove_sink(self, sink: Sink) -> None:
+        """Detach *sink* if attached (no-op otherwise)."""
+        with self._sinks_lock:
+            self.sinks = [s for s in self.sinks if s is not sink]
 
     def deliver(self, result: Relation, now: int) -> None:
         self.total_batches += 1
         self.total_rows += result.row_count
         self.last_delivery_time = now
-        for sink in self.sinks:
+        with self._sinks_lock:
+            sinks = list(self.sinks)
+        for sink in sinks:
             sink.deliver(result, now)
 
     def __repr__(self) -> str:

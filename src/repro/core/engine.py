@@ -29,7 +29,7 @@ from repro.core.incremental import (IncrementalAnalysis,
                                     UnsupportedIncremental,
                                     analyze_incremental)
 from repro.core.monitor import Monitor
-from repro.core.receptor import Receptor
+from repro.core.receptor import Receptor, SocketReceptor
 from repro.core.recycler import DEFAULT_BUDGET_BYTES, Recycler
 from repro.core.rewriter import rewrite_to_continuous
 from repro.core.scheduler import PetriNetScheduler
@@ -105,6 +105,8 @@ class DataCellEngine:
         self._receptors: Dict[str, List[Receptor]] = {}
         self._queries: Dict[str, ContinuousQuery] = {}
         self._qcounter = 0
+        # the attached network edge (a DataCellServer), when serving
+        self.net_edge = None
 
     def close(self) -> None:
         """Release the scheduler's worker pool (no-op when serial)."""
@@ -307,6 +309,35 @@ class DataCellEngine:
         self.scheduler.add_receptor(receptor)
         return receptor
 
+    def add_socket_receptor(self, stream: str,
+                            name: Optional[str] = None,
+                            max_pending: int = 64,
+                            policy: str = "block",
+                            block_timeout_s: float = 5.0
+                            ) -> SocketReceptor:
+        """Register a network-edge receptor for *stream*: connection
+        threads offer batches into its bounded admission queue; the
+        scheduler drains it. One per connected producer."""
+        basket = self.basket(stream)
+        rname = name or (f"{basket.name}_net"
+                         f"{len(self._receptors[basket.name])}")
+        receptor = SocketReceptor(rname, basket, max_pending=max_pending,
+                                  policy=policy,
+                                  block_timeout_s=block_timeout_s)
+        self._receptors[basket.name].append(receptor)
+        self.scheduler.add_receptor(receptor)
+        return receptor
+
+    def remove_receptor(self, receptor: Receptor) -> None:
+        """Detach *receptor* from the scheduler and the stream's
+        receptor list (the basket and its tuples stay)."""
+        self.scheduler.receptors = [
+            r for r in self.scheduler.receptors if r is not receptor]
+        bucket = self._receptors.get(receptor.basket.name)
+        if bucket is not None:
+            self._receptors[receptor.basket.name] = [
+                r for r in bucket if r is not receptor]
+
     def feed(self, stream: str, rows: Sequence[Sequence[Any]]) -> int:
         """Push rows into a stream right now (external event driver)."""
         return self.basket(stream).append_rows(rows, self.now())
@@ -330,7 +361,8 @@ class DataCellEngine:
                             max_delay_ms: Optional[int] = None,
                             cache_enabled: bool = True,
                             sink: Optional[Sink] = None,
-                            output_stream: Optional[str] = None
+                            output_stream: Optional[str] = None,
+                            collect_max_batches: Optional[int] = None
                             ) -> ContinuousQuery:
         """Register a standing query.
 
@@ -344,6 +376,10 @@ class DataCellEngine:
         stream (an *output basket*): each firing appends its partial
         result there, and further continuous queries can consume it —
         multi-stage query networks, as in the paper's Figure 3.
+
+        ``collect_max_batches`` bounds the query's built-in
+        :class:`CollectingSink` ring (oldest batches dropped once
+        full) — recommended for long-lived live/server deployments.
         """
         stmt = parse(sql)
         if not isinstance(stmt, (ast.SelectStmt, ast.UnionStmt)):
@@ -375,7 +411,7 @@ class DataCellEngine:
         analysis, resolved_mode = self._resolve_mode(plan, specs, mode)
 
         emitter = Emitter(name)
-        collecting = CollectingSink()
+        collecting = CollectingSink(max_batches=collect_max_batches)
         emitter.add_sink(collecting)
         if sink is not None:
             emitter.add_sink(sink)
@@ -409,7 +445,8 @@ class DataCellEngine:
         query.output_stream = output_stream
         query.knobs = {"mode": mode, "min_batch": min_batch,
                        "max_delay_ms": max_delay_ms,
-                       "cache_enabled": cache_enabled}
+                       "cache_enabled": cache_enabled,
+                       "collect_max_batches": collect_max_batches}
         self._queries[name] = query
         return query
 
@@ -519,6 +556,16 @@ class DataCellEngine:
     def run_until_drained(self, max_steps: int = 100000) -> Dict[str, int]:
         return self.scheduler.run_until_drained(max_steps)
 
+    def network_stats(self) -> Dict[str, Dict]:
+        """The scheduler's Petri-net counters, plus a ``"net"`` section
+        (per-connection ingest/deliver/shed/blocked counters) when a
+        network edge — a :class:`~repro.net.server.DataCellServer` —
+        is attached."""
+        stats = self.scheduler.network_stats()
+        if self.net_edge is not None:
+            stats["net"] = self.net_edge.net_stats()
+        return stats
+
     # ------------------------------------------------------------------
     # snapshot / restore
     # ------------------------------------------------------------------
@@ -609,7 +656,8 @@ class DataCellEngine:
                 min_batch=entry["min_batch"],
                 max_delay_ms=entry["max_delay_ms"],
                 cache_enabled=entry["cache_enabled"],
-                output_stream=entry["output_stream"])
+                output_stream=entry["output_stream"],
+                collect_max_batches=entry.get("collect_max_batches"))
         return engine
 
     # ------------------------------------------------------------------

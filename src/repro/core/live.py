@@ -32,6 +32,31 @@ from repro.errors import StreamError
 from repro.streams.source import StreamSource
 
 
+# stop() drains until no transition is enabled; a chained network of N
+# stages needs at most N steps, so this bound only guards against a
+# factory that stays enabled while consuming nothing
+_STOP_DRAIN_STEPS = 64
+
+
+def drain_scheduler(scheduler, max_steps: int = _STOP_DRAIN_STEPS) -> int:
+    """Step *scheduler* until no transition is enabled (bounded).
+
+    A single final step is not enough for chained ``output_stream``
+    networks: a firing in the last step can enable a downstream factory
+    whose poll happens only on the *next* step, stranding tuples in the
+    intermediate basket. Returns the number of steps taken. Shared by
+    :meth:`LiveRunner.stop` and the network server's shutdown path.
+    """
+    steps = 0
+    for _ in range(max_steps):
+        out = scheduler.step()
+        steps += 1
+        if out["fired"] == 0 and out["ingested"] == 0 \
+                and not scheduler.enabled_transitions():
+            break
+    return steps
+
+
 class LiveRunner:
     """Runs one engine continuously on real time."""
 
@@ -84,8 +109,9 @@ class LiveRunner:
         if self._thread is not None:
             self._thread.join(timeout_s)
             self._thread = None
-        # one final pass so everything already ingested gets processed
-        self.engine.scheduler.step()
+        # drain everything already ingested — a bounded loop, not one
+        # step, so chained output_stream networks flush stage by stage
+        drain_scheduler(self.engine.scheduler)
 
     def drained(self) -> bool:
         """True when every attached source is exhausted and no factory

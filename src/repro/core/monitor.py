@@ -137,6 +137,48 @@ class Monitor:
                 f"bytes={stats['bytes']}/{stats['budget_bytes']}")
         return "\n".join(lines)
 
+    def net(self) -> str:
+        """The network-edge pane: per-connection ingest/deliver
+        counters of the attached :class:`~repro.net.server.
+        DataCellServer` (the demo's receptor/emitter processes made
+        visible)."""
+        edge = getattr(self.engine, "net_edge", None)
+        if edge is None:
+            return "network edge: (not attached — engine is in-process)"
+        stats = edge.net_stats()
+        state = "running" if stats["running"] else "stopped"
+        lines = [f"network edge [{state}] on {stats['address']} "
+                 f"(admission={stats['admission']}, "
+                 f"pending<={stats['max_pending_batches']}, "
+                 f"client-queue<={stats['max_client_queue']}):"]
+        for conn in stats["connections"]:
+            lines.append(f"  conn #{conn['id']} [{conn['peer']}]:")
+            for stream, r in sorted(conn["receptors"].items()):
+                lines.append(
+                    f"    receptor {stream}: pending={r['pending_batches']} "
+                    f"in={r['total_ingested']} shed={r['total_shed']} "
+                    f"blocked={r['total_blocked']}")
+            for sub in conn["subscriptions"]:
+                state = "evicted" if sub["evicted"] else (
+                    "dead" if sub["dead"] else "live")
+                lines.append(
+                    f"    subscriber {sub['query']} [{state}]: "
+                    f"sent={sub['sent_batches']} "
+                    f"rows={sub['sent_rows']} "
+                    f"queue={sub['queue_depth']}")
+            if not conn["receptors"] and not conn["subscriptions"]:
+                lines.append("    (idle)")
+        if not stats["connections"]:
+            lines.append("  (no open connections)")
+        totals = stats["totals"]
+        lines.append(
+            f"  totals [{stats['connections_total']} connections]: "
+            f"offered={totals['offered']} ingested={totals['ingested']} "
+            f"shed={totals['shed']} blocked={totals['blocked']} "
+            f"delivered={totals['delivered_rows']} rows "
+            f"evicted={totals['evicted']}")
+        return "\n".join(lines)
+
     def plans(self, query_name: str) -> str:
         """Logical plan + MAL before/after the continuous rewrite."""
         query = self.engine.continuous_query(query_name)

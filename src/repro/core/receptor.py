@@ -10,9 +10,10 @@ for interactive use.
 
 from __future__ import annotations
 
+import queue
 import threading
 import time
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.basket import Basket
 from repro.core.clock import Clock
@@ -131,3 +132,116 @@ class ThreadedReceptor(Receptor):
                 self.pump(self.clock.now())
             else:
                 time.sleep(0.01)
+
+
+class SocketReceptor(Receptor):
+    """Network-edge receptor: one per connected stream producer.
+
+    A connection thread :meth:`offer`\\ s row batches into a bounded
+    *admission queue*; the scheduler's pump phase drains queued batches
+    into the basket, so socket ingestion overlaps factory firing. The
+    bound is the backpressure valve when baskets back up:
+
+    * ``policy="block"`` — a full queue makes ``offer`` wait (up to
+      ``block_timeout_s``) for the scheduler to drain, propagating
+      backpressure to the producer; each wait bumps ``total_blocked``.
+    * ``policy="shed"`` — a full queue rejects the batch outright
+      (``offer`` returns 0, ``total_shed`` counts the rows); the server
+      answers the producer with a shed ERROR frame.
+    """
+
+    POLICIES = ("block", "shed")
+
+    def __init__(self, name: str, basket: Basket, max_pending: int = 64,
+                 policy: str = "block", block_timeout_s: float = 5.0):
+        if policy not in self.POLICIES:
+            raise StreamError(
+                f"unknown admission policy {policy!r} "
+                f"(expected one of {self.POLICIES})")
+        if max_pending < 1:
+            raise StreamError("max_pending must be >= 1")
+        super().__init__(name, basket, source=None)
+        self.policy = policy
+        self.max_pending = max_pending
+        self.block_timeout_s = block_timeout_s
+        self._queue: "queue.Queue[List[Sequence[Any]]]" = \
+            queue.Queue(maxsize=max_pending)
+        self.closed = False
+        self.exhausted = False  # live until closed *and* drained
+        self.total_offered = 0
+        self.total_shed = 0
+        self.total_blocked = 0
+
+    # -- producer side (connection thread) -----------------------------
+
+    def offer(self, rows: Sequence[Sequence[Any]]) -> int:
+        """Admit one batch; returns the number of rows accepted (0 when
+        the batch was shed). Raises :class:`StreamError` when paused,
+        closed, or when a blocking admission times out."""
+        if self.paused:
+            raise StreamError(f"receptor {self.name!r} is paused")
+        if self.closed:
+            raise StreamError(f"receptor {self.name!r} is closed")
+        batch = [list(row) for row in rows]
+        if not batch:
+            return 0
+        self.total_offered += len(batch)
+        try:
+            self._queue.put_nowait(batch)
+        except queue.Full:
+            if self.policy == "shed":
+                self.total_shed += len(batch)
+                return 0
+            self.total_blocked += 1
+            try:
+                self._queue.put(batch, timeout=self.block_timeout_s)
+            except queue.Full:
+                self.total_shed += len(batch)
+                raise StreamError(
+                    f"receptor {self.name!r}: admission queue full for "
+                    f"{self.block_timeout_s}s (scheduler not draining)"
+                ) from None
+        return len(batch)
+
+    # -- scheduler side -------------------------------------------------
+
+    def pump(self, now: int) -> int:
+        """Drain every queued batch into the basket (scheduler phase)."""
+        if self.paused:
+            return 0
+        appended = 0
+        while True:
+            try:
+                batch = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            appended += self.basket.append_rows(batch, now)
+        self.total_ingested += appended
+        if self.closed and self._queue.empty():
+            self.exhausted = True
+        return appended
+
+    def close(self) -> None:
+        """No further offers; pump drains what is queued, then the
+        receptor reports itself exhausted."""
+        self.closed = True
+        if self._queue.empty():
+            self.exhausted = True
+
+    def pending_batches(self) -> int:
+        return self._queue.qsize()
+
+    def stats(self) -> Dict[str, Any]:
+        return {"pending_batches": self.pending_batches(),
+                "total_offered": self.total_offered,
+                "total_ingested": self.total_ingested,
+                "total_shed": self.total_shed,
+                "total_blocked": self.total_blocked,
+                "policy": self.policy,
+                "closed": self.closed}
+
+    def __repr__(self) -> str:
+        return (f"SocketReceptor({self.name} -> {self.basket.name}, "
+                f"policy={self.policy}, "
+                f"pending={self.pending_batches()}, "
+                f"ingested={self.total_ingested})")

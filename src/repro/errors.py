@@ -75,3 +75,16 @@ class FactoryError(StreamError):
 
 class PersistenceError(DataCellError):
     """Raised when snapshot save/load fails."""
+
+
+class NetError(DataCellError):
+    """Raised by the network edge (wire protocol, server, client).
+
+    ``code`` carries the machine-readable error code from an ERROR
+    frame (``"shed"``, ``"evicted"``, ``"bad_frame"``, ...) when the
+    error crossed the wire; it is ``""`` for local failures.
+    """
+
+    def __init__(self, message: str, code: str = ""):
+        super().__init__(message)
+        self.code = code

@@ -1,0 +1,230 @@
+"""The network-edge CLI trio: ``repro serve`` / ``send`` / ``tail``.
+
+``serve`` boots an engine (optionally from a shell script that creates
+streams and ``.register``\\ s standing queries) and runs a
+:class:`~repro.net.server.DataCellServer` until interrupted::
+
+    repro serve --port 9001 --script init.sql
+
+``send`` is a stream producer: rows read from a file or stdin, one
+comma-separated tuple per line (SQL-ish literals, as in the shell's
+``.feed``), shipped in batches::
+
+    repro send sensors --port 9001 --batch 64 < rows.txt
+
+``tail`` subscribes to a standing query and prints result batches as
+they arrive::
+
+    repro tail hot_rooms --port 9001 --count 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import IO, List, Optional
+
+from repro.errors import DataCellError, NetError
+from repro.net.client import DataCellClient
+from repro.net.server import DataCellServer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run a DataCell server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9001,
+                       help="0 binds an ephemeral port")
+    serve.add_argument("--script", default=None,
+                       help="shell script (SQL + dot-commands) run "
+                            "against the engine before serving")
+    serve.add_argument("--admission", choices=("block", "shed"),
+                       default="block",
+                       help="producer backpressure policy")
+    serve.add_argument("--pending", type=int, default=64,
+                       help="admission queue bound (batches/producer)")
+    serve.add_argument("--client-queue", type=int, default=256,
+                       help="delivery queue bound (batches/subscriber)")
+    serve.add_argument("--step-ms", type=float, default=2.0,
+                       help="scheduler step interval")
+    serve.add_argument("--collect-max", type=int, default=1024,
+                       help="per-query CollectingSink ring bound "
+                            "(0 = unbounded)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for N seconds, then exit "
+                            "(default: until interrupted)")
+    serve.add_argument("--port-file", default=None,
+                       help="write the bound port here (scripting aid)")
+
+    send = sub.add_parser("send", help="ingest rows into a stream")
+    send.add_argument("stream")
+    send.add_argument("--host", default="127.0.0.1")
+    send.add_argument("--port", type=int, default=9001)
+    send.add_argument("--file", default=None,
+                      help="rows file (default: stdin), one "
+                           "comma-separated tuple per line")
+    send.add_argument("--batch", type=int, default=64,
+                      help="rows per INGEST frame")
+    send.add_argument("--codec", default="json",
+                      choices=("json", "msgpack"))
+
+    tail = sub.add_parser("tail", help="follow a standing query")
+    tail.add_argument("query")
+    tail.add_argument("--host", default="127.0.0.1")
+    tail.add_argument("--port", type=int, default=9001)
+    tail.add_argument("--count", type=int, default=None,
+                      help="stop after N batches (default: forever)")
+    tail.add_argument("--timeout", type=float, default=None,
+                      help="stop after N idle seconds")
+    tail.add_argument("--codec", default="json",
+                      choices=("json", "msgpack"))
+    return parser
+
+
+def _cmd_serve(args, out: IO) -> int:
+    from repro.cli import DataCellShell
+    from repro.core.clock import WallClock
+    from repro.core.engine import DataCellEngine
+
+    engine = DataCellEngine(clock=WallClock())
+    if args.script:
+        shell = DataCellShell(engine=engine, out=out)
+        with open(args.script) as f:
+            shell.run(f, interactive=False)
+    server = DataCellServer(
+        engine, host=args.host, port=args.port,
+        step_interval_s=args.step_ms / 1000.0,
+        admission=args.admission,
+        max_pending_batches=args.pending,
+        max_client_queue=args.client_queue,
+        collect_max_batches=args.collect_max or None)
+    server.start()
+    out.write(f"datacell server listening on "
+              f"{server.host}:{server.port} "
+              f"(admission={server.admission}, "
+              f"{len(engine.queries())} standing queries)\n")
+    out.flush()
+    if args.port_file:
+        with open(args.port_file, "w") as f:
+            f.write(str(server.port))
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:  # pragma: no cover - interactive path
+            while True:
+                time.sleep(0.5)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.stop()
+        engine.close()
+    stats = server.net_stats()["totals"]
+    out.write(f"served {server.connections_total} connections: "
+              f"ingested={stats['ingested']} shed={stats['shed']} "
+              f"delivered={stats['delivered_rows']} rows\n")
+    return 0
+
+
+def _read_rows(source: IO, parse) -> List[List]:
+    rows = []
+    for line in source:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        rows.append(parse(line))
+    return rows
+
+
+def _cmd_send(args, out: IO) -> int:
+    from repro.cli import parse_row_values
+
+    if args.file:
+        with open(args.file) as f:
+            rows = _read_rows(f, parse_row_values)
+    else:
+        rows = _read_rows(sys.stdin, parse_row_values)
+    accepted = shed = 0
+    start = time.perf_counter()
+    with DataCellClient(args.host, port=args.port,
+                        codec=args.codec,
+                        client_name="repro-send") as client:
+        for i in range(0, len(rows), max(args.batch, 1)):
+            batch = rows[i:i + args.batch]
+            try:
+                accepted += client.ingest(args.stream, batch, seq=i)
+            except NetError as exc:
+                if exc.code != "shed":
+                    raise
+                shed += len(batch)
+    elapsed = time.perf_counter() - start
+    rate = accepted / elapsed if elapsed > 0 else 0.0
+    out.write(f"sent {accepted} rows to {args.stream!r} "
+              f"({shed} shed) in {elapsed:.3f}s "
+              f"[{rate:,.0f} rows/s]\n")
+    return 0 if shed == 0 else 3
+
+
+def _cmd_tail(args, out: IO) -> int:
+    client = DataCellClient(args.host, port=args.port,
+                            codec=args.codec,
+                            client_name="repro-tail")
+    try:
+        columns = client.subscribe(args.query)
+        out.write(f"subscribed to {args.query!r} "
+                  f"({', '.join(columns)})\n")
+        out.flush()
+        seen = 0
+        idle_deadline = (time.monotonic() + args.timeout
+                         if args.timeout is not None else None)
+        while args.count is None or seen < args.count:
+            batches = client.results(max_batches=1, timeout=0.5)
+            if not batches:
+                if client.closed or client.last_error is not None:
+                    break
+                if idle_deadline is not None \
+                        and time.monotonic() > idle_deadline:
+                    break
+                continue
+            if args.timeout is not None:
+                idle_deadline = time.monotonic() + args.timeout
+            for batch in batches:
+                seen += 1
+                out.write(f"-- t={batch.t}ms seq={batch.seq} "
+                          f"({batch.row_count} rows)\n")
+                for row in batch.rows:
+                    out.write("  " + ", ".join(
+                        "NULL" if v is None else str(v)
+                        for v in row) + "\n")
+            out.flush()
+        if client.last_error is not None:
+            out.write(f"server: {client.last_error} "
+                      f"[{client.last_error.code}]\n")
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        client.close()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None,
+         out: Optional[IO] = None) -> int:
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "serve":
+            return _cmd_serve(args, out)
+        if args.command == "send":
+            return _cmd_send(args, out)
+        return _cmd_tail(args, out)
+    except (DataCellError, OSError) as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

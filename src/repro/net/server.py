@@ -1,0 +1,492 @@
+"""A long-running DataCell server: the engine behind a socket.
+
+The demo architecture runs "a set of separate processes per stream and
+per client" at the engine's edges. :class:`DataCellServer` realizes
+that boundary: one engine on a wall clock, a scheduler thread stepping
+the Petri net (LiveRunner-style), one
+:class:`~repro.core.receptor.SocketReceptor` per connected stream
+producer, and one :class:`~repro.core.emitter.QueueSink` + writer
+thread per subscribed client.
+
+Backpressure is explicit at both edges:
+
+* **ingress** — each producer's receptor has a bounded admission queue;
+  when baskets back up the producer either blocks (``admission=
+  "block"``, backpressure rides the TCP connection) or gets a shed
+  ERROR frame (``admission="shed"``), with shed/blocked counts in
+  :meth:`net_stats` and the shell's ``.net`` pane;
+* **egress** — each subscriber has a bounded delivery queue drained in
+  order by its writer thread; a slow consumer is *evicted* (ERROR
+  frame, subscription torn down) rather than allowed to buffer the
+  engine into the ground.
+
+Typical use::
+
+    engine = DataCellEngine(clock=WallClock())
+    engine.execute("CREATE STREAM s (k INT, v FLOAT)")
+    engine.register_continuous("SELECT k, v FROM s WHERE v > 0.5",
+                               name="q")
+    with DataCellServer(engine) as server:
+        ...  # clients connect to server.host:server.port
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.core.clock import WallClock
+from repro.core.emitter import QueueSink
+from repro.core.engine import DataCellEngine
+from repro.core.live import drain_scheduler
+from repro.core.receptor import SocketReceptor
+from repro.errors import CatalogError, DataCellError, NetError, \
+    StreamError
+from repro.net import protocol
+
+_TOTAL_KEYS = ("offered", "ingested", "shed", "blocked",
+               "delivered_batches", "delivered_rows", "evicted")
+
+
+class _Subscription:
+    """One subscribed client: a queued sink plus its writer thread."""
+
+    def __init__(self, conn: "_Connection", query_name: str,
+                 sink: QueueSink, emitter):
+        self.conn = conn
+        self.query = query_name
+        self.sink = sink
+        self.emitter = emitter
+        self.sent_batches = 0
+        self.sent_rows = 0
+        self.dead = False
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True,
+            name=f"emitter-{conn.cid}-{query_name}")
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            item = self.sink.get(timeout=0.05)
+            if item is None:
+                if self.sink.evicted and self.sink.drained():
+                    self._evict()
+                    return
+                continue
+            seq, now, rel = item
+            frame = protocol.result(self.query, seq, now, rel.names,
+                                    [list(r) for r in rel.to_rows()])
+            try:
+                self.conn.stream.send(frame)
+            except NetError:
+                self._detach()
+                return
+            self.sent_batches += 1
+            self.sent_rows += rel.row_count
+
+    def _evict(self) -> None:
+        try:
+            self.conn.stream.send(protocol.error(
+                "evicted",
+                f"subscriber too slow for query {self.query!r}; "
+                f"delivery queue overflowed", query=self.query))
+        except NetError:
+            pass
+        self._detach()
+
+    def _detach(self) -> None:
+        self.dead = True
+        self.emitter.remove_sink(self.sink)
+
+    def stop(self, timeout_s: float = 2.0) -> None:
+        self._stop.set()
+        self._detach()
+        if self._thread.is_alive() \
+                and self._thread is not threading.current_thread():
+            self._thread.join(timeout_s)
+
+    def stats(self) -> Dict[str, Any]:
+        out = self.sink.stats()
+        out.update({"query": self.query,
+                    "sent_batches": self.sent_batches,
+                    "sent_rows": self.sent_rows,
+                    "dead": self.dead})
+        return out
+
+
+class _Connection:
+    """Server-side state of one accepted socket."""
+
+    def __init__(self, cid: int, sock: socket.socket, peer):
+        self.cid = cid
+        self.stream = protocol.FrameStream(sock)
+        self.peer = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) \
+            else str(peer)
+        self.receptors: Dict[str, SocketReceptor] = {}
+        self.subscriptions: List[_Subscription] = []
+        self.closed = False
+
+
+class DataCellServer:
+    """Hosts one engine plus a scheduler thread behind a listen socket."""
+
+    def __init__(self, engine: Optional[DataCellEngine] = None,
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 step_interval_s: float = 0.002,
+                 admission: str = "block",
+                 max_pending_batches: int = 64,
+                 block_timeout_s: float = 5.0,
+                 max_client_queue: int = 256,
+                 collect_max_batches: Optional[int] = 1024):
+        """``port=0`` binds an ephemeral port (read :attr:`port` after
+        :meth:`start`). ``admission``/``max_pending_batches`` shape the
+        per-producer admission queues; ``max_client_queue`` bounds each
+        subscriber's delivery queue; ``collect_max_batches`` retro-bounds
+        every standing query's built-in CollectingSink so a long-running
+        server does not hoard history (``None`` leaves them unbounded).
+        """
+        if engine is None:
+            engine = DataCellEngine(clock=WallClock())
+        if not isinstance(engine.clock, WallClock):
+            raise StreamError("DataCellServer needs an engine on a "
+                              "WallClock")
+        if admission not in SocketReceptor.POLICIES:
+            raise StreamError(f"unknown admission policy {admission!r}")
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.step_interval_s = step_interval_s
+        self.admission = admission
+        self.max_pending_batches = max_pending_batches
+        self.block_timeout_s = block_timeout_s
+        self.max_client_queue = max_client_queue
+        self.collect_max_batches = collect_max_batches
+        self._sock: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._sched_thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._conns: List[_Connection] = []
+        self._orphan_receptors: List[SocketReceptor] = []
+        self._conn_counter = 0
+        self.connections_total = 0
+        self.steps = 0
+        self.running = False
+        self._totals: Dict[str, int] = {k: 0 for k in _TOTAL_KEYS}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "DataCellServer":
+        if self.running:
+            raise StreamError("server already started")
+        if self.collect_max_batches is not None:
+            for query in self.engine.queries():
+                query.sink.set_max_batches(self.collect_max_batches)
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, self.port))
+        sock.listen(64)
+        self._sock = sock
+        self.host, self.port = sock.getsockname()[:2]
+        self.engine.net_edge = self
+        self._stop.clear()
+        self.running = True
+        self._sched_thread = threading.Thread(
+            target=self._sched_loop, daemon=True,
+            name="datacell-server-scheduler")
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True,
+            name="datacell-server-accept")
+        self._sched_thread.start()
+        self._accept_thread.start()
+        return self
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Orderly shutdown: stop accepting, drain ingested tuples
+        through the net, flush subscriber queues, then close
+        connections (idempotent)."""
+        if not self.running:
+            return
+        self.running = False
+        # 1. no new connections; shutdown() (not just close()) so a
+        # thread already blocked in accept() wakes up
+        if self._sock is not None:
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        deadline = time.monotonic() + timeout_s
+        # 2. let the scheduler thread drain admission queues + the net
+        while time.monotonic() < deadline:
+            if self._quiesced():
+                break
+            time.sleep(0.01)
+        # 3. stop the scheduler thread; one final bounded drain
+        self._stop.set()
+        if self._sched_thread is not None:
+            self._sched_thread.join(timeout_s)
+            self._sched_thread = None
+        drain_scheduler(self.engine.scheduler)
+        # 4. flush subscriber delivery queues (writers still running)
+        while time.monotonic() < deadline:
+            if all(sub.sink.drained() or sub.dead
+                   for conn in self._snapshot_conns()
+                   for sub in conn.subscriptions):
+                break
+            time.sleep(0.01)
+        # 5. tear down connections (unblocks handler threads) + accept
+        for conn in self._snapshot_conns():
+            self._close_conn(conn)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout_s)
+            self._accept_thread = None
+        self._reap_receptors(force=True)
+
+    def _quiesced(self) -> bool:
+        backlog = any(r.pending_batches()
+                      for r in self._all_socket_receptors())
+        return not backlog \
+            and not self.engine.scheduler.enabled_transitions()
+
+    def __enter__(self) -> "DataCellServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- scheduler thread ----------------------------------------------
+
+    def _sched_loop(self) -> None:
+        while not self._stop.is_set():
+            self.engine.scheduler.step()
+            self.steps += 1
+            if self.steps % 256 == 0:
+                self._reap_receptors()
+            time.sleep(self.step_interval_s)
+
+    def _reap_receptors(self, force: bool = False) -> None:
+        """Unregister closed-and-drained socket receptors of departed
+        connections, folding their counters into the totals."""
+        with self._lock:
+            keep = []
+            for receptor in self._orphan_receptors:
+                if force or receptor.exhausted:
+                    self._fold_receptor(receptor)
+                    self.engine.remove_receptor(receptor)
+                else:
+                    keep.append(receptor)
+            self._orphan_receptors = keep
+
+    def _fold_receptor(self, receptor: SocketReceptor) -> None:
+        self._totals["offered"] += receptor.total_offered
+        self._totals["ingested"] += receptor.total_ingested
+        self._totals["shed"] += receptor.total_shed
+        self._totals["blocked"] += receptor.total_blocked
+
+    # -- accept / connection handling ----------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._sock is not None
+        while self.running:
+            try:
+                sock, peer = self._sock.accept()
+            except OSError:
+                return  # listen socket closed by stop()
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                self._conn_counter += 1
+                conn = _Connection(self._conn_counter, sock, peer)
+                self._conns.append(conn)
+                self.connections_total += 1
+            threading.Thread(target=self._handle, args=(conn,),
+                             daemon=True,
+                             name=f"datacell-conn-{conn.cid}").start()
+
+    def _handle(self, conn: _Connection) -> None:
+        try:
+            if not self._handshake(conn):
+                return
+            while not self._stop.is_set():
+                message = conn.stream.recv()
+                if message is None:
+                    return
+                self._dispatch(conn, message)
+        except NetError:
+            pass  # peer vanished or spoke garbage; drop the connection
+        finally:
+            self._close_conn(conn)
+
+    def _handshake(self, conn: _Connection) -> bool:
+        first = conn.stream.recv()
+        if first is None:
+            return False
+        if first.get("type") != protocol.HELLO:
+            conn.stream.send(protocol.error(
+                "bad_frame", "expected a HELLO frame first"))
+            return False
+        used = conn.stream.set_codec(str(first.get("codec", "json")))
+        conn.stream.send(protocol.ok(
+            server="datacell-repro",
+            version=protocol.PROTOCOL_VERSION, codec=used,
+            streams=[s.name for s in self.engine.catalog.streams()],
+            queries=[q.name for q in self.engine.queries()]))
+        return True
+
+    def _dispatch(self, conn: _Connection, message: Dict[str, Any]
+                  ) -> None:
+        kind = message.get("type")
+        if kind == protocol.INGEST:
+            self._on_ingest(conn, message)
+        elif kind == protocol.SUBSCRIBE:
+            self._on_subscribe(conn, message)
+        elif kind == protocol.STATS:
+            conn.stream.send(
+                protocol.stats(self.engine.network_stats()))
+        elif kind == protocol.ERROR:
+            pass  # client-side complaint; nothing to do server-side
+        else:
+            conn.stream.send(protocol.error(
+                "bad_frame", f"unexpected frame type {kind!r}"))
+
+    def _on_ingest(self, conn: _Connection, message: Dict[str, Any]
+                   ) -> None:
+        stream_name = str(message.get("stream", "")).lower()
+        rows = message.get("rows") or []
+        seq = message.get("seq")
+        receptor = conn.receptors.get(stream_name)
+        if receptor is None:
+            try:
+                receptor = self.engine.add_socket_receptor(
+                    stream_name,
+                    name=f"c{conn.cid}_{stream_name}",
+                    max_pending=self.max_pending_batches,
+                    policy=self.admission,
+                    block_timeout_s=self.block_timeout_s)
+            except (CatalogError, StreamError) as exc:
+                conn.stream.send(protocol.error(
+                    "no_stream", str(exc), stream=stream_name, seq=seq))
+                return
+            conn.receptors[stream_name] = receptor
+        try:
+            accepted = receptor.offer(rows)
+        except StreamError as exc:
+            conn.stream.send(protocol.error(
+                "overload", str(exc), stream=stream_name, seq=seq))
+            return
+        if accepted == 0 and rows:
+            conn.stream.send(protocol.error(
+                "shed", f"admission queue for {stream_name!r} is full "
+                f"({receptor.max_pending} batches); batch shed",
+                stream=stream_name, seq=seq, rows=len(rows)))
+            return
+        conn.stream.send(protocol.ok(accepted=accepted, seq=seq,
+                                     stream=stream_name))
+
+    def _on_subscribe(self, conn: _Connection, message: Dict[str, Any]
+                      ) -> None:
+        query_name = str(message.get("query", "")).lower()
+        try:
+            query = self.engine.continuous_query(query_name)
+        except DataCellError as exc:
+            conn.stream.send(protocol.error(
+                "no_query", str(exc), query=query_name))
+            return
+        if any(s.query == query_name and not s.dead
+               for s in conn.subscriptions):
+            conn.stream.send(protocol.error(
+                "duplicate", f"already subscribed to {query_name!r}",
+                query=query_name))
+            return
+        sink = QueueSink(f"c{conn.cid}:{query_name}",
+                         max_batches=self.max_client_queue)
+        subscription = _Subscription(conn, query_name, sink,
+                                     query.emitter)
+        conn.subscriptions.append(subscription)
+        query.emitter.add_sink(sink)
+        conn.stream.send(protocol.ok(query=query_name,
+                                     columns=query.plan.schema.names))
+        subscription.start()
+
+    def _close_conn(self, conn: _Connection) -> None:
+        with self._lock:
+            if conn.closed:
+                return
+            conn.closed = True
+            self._conns = [c for c in self._conns if c is not conn]
+            for receptor in conn.receptors.values():
+                receptor.close()
+                self._orphan_receptors.append(receptor)
+        for subscription in conn.subscriptions:
+            subscription.stop()
+            self._totals["delivered_batches"] += \
+                subscription.sent_batches
+            self._totals["delivered_rows"] += subscription.sent_rows
+            if subscription.sink.evicted:
+                self._totals["evicted"] += 1
+        conn.stream.close()
+
+    # -- inspection ----------------------------------------------------
+
+    def _snapshot_conns(self) -> List[_Connection]:
+        with self._lock:
+            return list(self._conns)
+
+    def _all_socket_receptors(self) -> List[SocketReceptor]:
+        with self._lock:
+            out = list(self._orphan_receptors)
+            for conn in self._conns:
+                out.extend(conn.receptors.values())
+            return out
+
+    def net_stats(self) -> Dict[str, Any]:
+        """Per-connection and aggregate edge counters (the ``"net"``
+        section of :meth:`DataCellEngine.network_stats`)."""
+        conns = self._snapshot_conns()
+        entries = []
+        totals = dict(self._totals)
+        for conn in conns:
+            receptors = {s: r.stats()
+                         for s, r in conn.receptors.items()}
+            subs = [s.stats() for s in conn.subscriptions]
+            entries.append({"id": conn.cid, "peer": conn.peer,
+                            "receptors": receptors,
+                            "subscriptions": subs})
+            for r in conn.receptors.values():
+                totals["offered"] += r.total_offered
+                totals["ingested"] += r.total_ingested
+                totals["shed"] += r.total_shed
+                totals["blocked"] += r.total_blocked
+            for s in conn.subscriptions:
+                totals["delivered_batches"] += s.sent_batches
+                totals["delivered_rows"] += s.sent_rows
+                if s.sink.evicted:
+                    totals["evicted"] += 1
+        with self._lock:
+            for receptor in self._orphan_receptors:
+                totals["offered"] += receptor.total_offered
+                totals["ingested"] += receptor.total_ingested
+                totals["shed"] += receptor.total_shed
+                totals["blocked"] += receptor.total_blocked
+        return {"address": f"{self.host}:{self.port}",
+                "running": self.running,
+                "admission": self.admission,
+                "max_pending_batches": self.max_pending_batches,
+                "max_client_queue": self.max_client_queue,
+                "steps": self.steps,
+                "connections_total": self.connections_total,
+                "connections": entries,
+                "totals": totals}
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return (f"DataCellServer({self.host}:{self.port}, {state}, "
+                f"conns={len(self._conns)})")

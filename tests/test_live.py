@@ -93,6 +93,33 @@ class TestLiveRunner:
         finally:
             runner.stop()
 
+    def test_stop_drains_chained_network(self):
+        """stop() must flush chained output_stream networks: a firing in
+        the final step can enable a downstream factory, so a single step
+        is not enough — the bounded drain loop runs until no transition
+        is enabled."""
+        engine = live_engine()
+        engine.register_continuous("SELECT k, v FROM s", name="q1",
+                                   output_stream="mid")
+        engine.register_continuous("SELECT k FROM mid", name="q2")
+        runner = LiveRunner(engine)
+        runner.attach("s", RateSource([(i, 1.0) for i in range(50)],
+                                      rate=5000))
+        runner.start()
+        time.sleep(0.03)  # stop mid-stream, tuples in flight
+        runner.stop()
+        ingested = sum(r.total_ingested for r in runner._receptors)
+        # everything ingested before stop flowed through both stages
+        assert len(engine.results("q2").rows()) == ingested
+        assert not engine.scheduler.enabled_transitions()
+
+    def test_drain_scheduler_bounded(self):
+        from repro.core.live import drain_scheduler
+
+        engine = live_engine()
+        steps = drain_scheduler(engine.scheduler, max_steps=8)
+        assert steps == 1  # idle net quiesces on the first step
+
     def test_conservation_under_concurrency(self):
         engine = live_engine()
         engine.register_continuous("SELECT k FROM s", name="q")

@@ -137,3 +137,122 @@ class TestEmitter:
         sink.deliver(_rel([1]), 0)
         sink.clear()
         assert sink.latest() is None
+
+    def test_remove_sink(self):
+        emitter = Emitter("q")
+        sink = CollectingSink()
+        emitter.add_sink(sink)
+        emitter.remove_sink(sink)
+        emitter.deliver(_rel([1]), now=0)
+        assert len(sink) == 0
+        emitter.remove_sink(sink)  # removing twice is a no-op
+
+
+class TestCollectingSinkRing:
+    def test_unbounded_by_default(self):
+        sink = CollectingSink()
+        for i in range(5):
+            sink.deliver(_rel([i]), now=i)
+        assert len(sink) == 5 and sink.dropped_batches == 0
+
+    def test_ring_drops_oldest(self):
+        sink = CollectingSink(max_batches=2)
+        for i in range(5):
+            sink.deliver(_rel([i]), now=i)
+        assert len(sink) == 2
+        assert sink.dropped_batches == 3
+        assert sink.rows() == [(3,), (4,)]  # oldest evicted first
+        assert sink.latest().to_rows() == [(4,)]
+
+    def test_set_max_batches_trims_retroactively(self):
+        sink = CollectingSink()
+        for i in range(4):
+            sink.deliver(_rel([i]), now=i)
+        sink.set_max_batches(2)
+        assert sink.rows() == [(2,), (3,)]
+        sink.set_max_batches(None)  # unbound again
+        sink.deliver(_rel([9]), now=9)
+        assert len(sink) == 3
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError):
+            CollectingSink(max_batches=0)
+
+
+class TestReceptorPauseResume:
+    def test_pause_mid_stream_resumes_where_left(self, basket):
+        receptor = Receptor("r", basket,
+                            ListSource([(0, (1,)), (5, (2,)),
+                                        (10, (3,))]))
+        assert receptor.pump(now=0) == 1
+        receptor.pause()
+        assert receptor.pump(now=20) == 0  # nothing lost, nothing read
+        assert not receptor.exhausted
+        receptor.resume()
+        assert receptor.pump(now=20) == 2
+        assert receptor.exhausted
+        assert receptor.total_ingested == 3
+
+    def test_pause_is_idempotent(self, basket):
+        receptor = Receptor("r", basket, ListSource([(0, (1,))]))
+        receptor.pause()
+        receptor.pause()
+        receptor.resume()
+        receptor.resume()
+        assert receptor.pump(0) == 1
+
+
+class TestThreadedReceptorLifecycle:
+    def _make(self, basket, rows=((0, (1,)),)):
+        from repro.core.clock import WallClock
+        from repro.core.receptor import ThreadedReceptor
+
+        return ThreadedReceptor("r", basket, ListSource(list(rows)),
+                                WallClock())
+
+    def test_double_start_rejected(self, basket):
+        receptor = self._make(basket)
+        receptor.start()
+        try:
+            with pytest.raises(StreamError):
+                receptor.start()
+        finally:
+            receptor.stop()
+
+    def test_stop_before_start_is_noop(self, basket):
+        self._make(basket).stop()
+
+    def test_stop_idempotent(self, basket):
+        receptor = self._make(basket)
+        receptor.start()
+        receptor.stop()
+        receptor.stop()  # second stop is a no-op
+        with pytest.raises(StreamError):
+            receptor.start()  # a stopped receptor is not restartable
+
+    def test_delivers_then_exhausts(self, basket):
+        import time
+
+        receptor = self._make(basket, rows=[(0, (1,)), (0, (2,))])
+        receptor.start()
+        deadline = time.monotonic() + 5.0
+        while not receptor.exhausted and time.monotonic() < deadline:
+            time.sleep(0.01)
+        receptor.stop()
+        assert receptor.exhausted
+        assert len(basket) == 2
+
+    def test_pause_holds_ingestion(self, basket):
+        import time
+
+        receptor = self._make(basket, rows=[(0, (1,))])
+        receptor.pause()
+        receptor.start()
+        time.sleep(0.1)
+        assert len(basket) == 0  # paused thread sits on the event
+        receptor.resume()
+        deadline = time.monotonic() + 5.0
+        while len(basket) == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        receptor.stop()
+        assert len(basket) == 1
