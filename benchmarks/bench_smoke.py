@@ -7,11 +7,13 @@ Usage::
 Runs the experiments the stacked PRs track for regressions — E2
 (standing-query scaling + recycler on/off ablation), E8 (serial vs
 worker-pool parallel ablation), E9 (basket ingest/retention
-mechanics) and E10n (network-edge loopback throughput) — and writes
-``BENCH_E2.json``, ``BENCH_E8.json``, ``BENCH_E9.json`` and
-``BENCH_E10.json`` to the repo root (or ``--outdir``). CI runs
-``--quick`` so drift is caught without a full experiment sweep;
-``repro.bench.reporting.compare_runs`` diffs two archives.
+mechanics), E10n (network-edge loopback throughput) and E11c
+(chained-network recycling, eviction-policy ablation) — and writes
+``BENCH_E2.json``, ``BENCH_E8.json``, ``BENCH_E9.json``,
+``BENCH_E10.json`` and ``BENCH_E11.json`` to the repo root (or
+``--outdir``). CI runs ``--quick`` so drift is caught without a full
+experiment sweep; ``repro.bench.reporting.compare_runs`` diffs two
+archives.
 """
 
 from __future__ import annotations
@@ -24,7 +26,8 @@ sys.path.insert(0, os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))))
 
 from benchmarks import (bench_e2_multiquery, bench_e8_scheduler,
-                        bench_e9_baskets, bench_e10_net)
+                        bench_e9_baskets, bench_e10_net,
+                        bench_e11_chain)
 from repro.bench.reporting import save_json
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -62,6 +65,13 @@ def run_e10(quick: bool):
             bench_e10_net.run_delivery_table(nrows)]
 
 
+def run_e11(quick: bool):
+    nrows = 4_000 if quick else bench_e11_chain.N_ROWS
+    repeats = 1 if quick else 3
+    return [bench_e11_chain.run_experiment(nrows=nrows,
+                                           repeats=repeats)]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -73,7 +83,8 @@ def main(argv=None) -> int:
     for name, runner in (("BENCH_E2.json", run_e2),
                          ("BENCH_E8.json", run_e8),
                          ("BENCH_E9.json", run_e9),
-                         ("BENCH_E10.json", run_e10)):
+                         ("BENCH_E10.json", run_e10),
+                         ("BENCH_E11.json", run_e11)):
         tables = runner(args.quick)
         for table in tables:
             print()

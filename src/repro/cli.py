@@ -29,7 +29,8 @@ runtime:
 ``.network``       the query-network pane (demo Fig. 3)
 ``.analysis``      the performance pane (demo Fig. 4)
 ``.net``           the network-edge pane (per-connection counters)
-``.recycler``      shared-work cache counters (hits/misses/evictions)
+``.recycler``      shared-work cache counters (hits/misses/evictions,
+                   policy, chain stamps/hits, bytes & ms saved)
 ``.scheduler``     worker-pool / wave counters and failure totals
 ``.queries``       list standing queries
 ``.help / .quit``
@@ -234,11 +235,15 @@ class DataCellShell:
     def _cmd_recycler(self, arg: str) -> None:
         stats = self.engine.recycler.stats()
         state = "on" if stats["enabled"] else "off"
-        self._print(f"recycler [{state}]:")
+        self._print(f"recycler [{state}] policy={stats['policy']}:")
         for key in ("hits", "misses", "slice_hits", "slice_misses",
-                    "evictions", "invalidations", "entries", "bytes",
-                    "budget_bytes"):
+                    "chain_stamped", "chain_hits", "bytes_saved",
+                    "cost_saved_ms", "evictions", "invalidations",
+                    "entries", "bytes", "budget_bytes"):
             self._print(f"  {key}: {stats[key]}")
+        reasons = ", ".join(f"{k}={v}" for k, v in
+                            sorted(stats["eviction_reasons"].items()))
+        self._print(f"  eviction_reasons: {reasons}")
 
     def _cmd_scheduler(self, arg: str) -> None:
         sched = self.engine.scheduler

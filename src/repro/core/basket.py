@@ -28,7 +28,8 @@ it: such factories conflict and are fired in separate waves.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import (Any, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 import numpy as np
 
@@ -75,6 +76,10 @@ class Basket:
                                       for c in schema.columns}
         self._arrival = BAT(dt.TIMESTAMP)
         self._subs: Dict[str, Subscription] = {}
+        # per-range provenance stamps for chained output baskets:
+        # (lo_oid, hi_oid, emit fingerprint) per producer append —
+        # trimmed by vacuum once a range is entirely dropped
+        self._stamps: List[Tuple[int, int, str]] = []
         self._lock = threading.RLock()
         self._pins = 0
         self.locked_by: Optional[str] = None
@@ -142,6 +147,40 @@ class Basket:
             self.high_water = max(self.high_water, len(self))
         return n
 
+    def append_stamped(self, rel: Relation, now: int,
+                       fp: Optional[str]) -> Tuple[int, int]:
+        """Append *rel* and stamp the new oid range with emit
+        fingerprint *fp*; returns the appended ``(lo, hi)``.
+
+        The chained-network path: an ``output_stream``
+        :class:`~repro.core.emitter.BasketSink` appends each firing's
+        payload through here so the range carries the producing plan's
+        provenance, and the recycler can resolve a downstream stage's
+        scan of exactly this range to the emitted payload. Append and
+        stamp happen under one lock hold so a concurrent appender
+        cannot interleave between them.
+        """
+        with self._lock:
+            lo = self.next_oid
+            n = self.append_relation(rel, now)
+            hi = lo + n
+            if n and fp is not None:
+                self._stamps.append((lo, hi, fp))
+            return lo, hi
+
+    def range_stamp(self, lo_oid: int, hi_oid: int) -> Optional[str]:
+        """The emit fingerprint stamped on exactly ``[lo_oid,
+        hi_oid)``, or None when the range was not a stamped append."""
+        with self._lock:
+            for lo, hi, fp in reversed(self._stamps):
+                if lo == lo_oid and hi == hi_oid:
+                    return fp
+            return None
+
+    def range_stamps(self) -> List[Tuple[int, int, str]]:
+        with self._lock:
+            return list(self._stamps)
+
     # -- reading ------------------------------------------------------------
 
     def clamp_range(self, lo_oid: Optional[int],
@@ -176,11 +215,27 @@ class Basket:
                 (c.name, self._bats[c.name].slice(start, stop))
                 for c in self.schema.columns)
 
-    def arrival_slice(self, lo_oid: int, hi_oid: int) -> np.ndarray:
+    def arrival_slice(self, lo_oid: int, hi_oid: int
+                      ) -> Tuple[np.ndarray, Tuple[int, int]]:
+        """Arrival timestamps for oids in ``[lo_oid, hi_oid)``, plus
+        the clamped ``(lo, hi)`` actually covered.
+
+        After a partial vacuum ``lo_oid`` may fall below ``first_oid``;
+        silently clamping to position 0 used to hand back an array
+        *misaligned* with the requested oid range (``result[i]`` was
+        not the arrival of ``lo_oid + i``). Returning the clamped
+        bounds alongside keeps time-window callers from misattributing
+        arrivals: ``result[i]`` is the arrival time of oid
+        ``clamped_lo + i``.
+        """
         with self._lock:
-            start = lo_oid - self.first_oid
-            stop = hi_oid - self.first_oid
-            return self._arrival.values[max(start, 0):max(stop, 0)].copy()
+            lo = max(lo_oid, self.first_oid)
+            hi = min(hi_oid, self.next_oid)
+            if hi < lo:
+                hi = lo
+            start = lo - self.first_oid
+            stop = hi - self.first_oid
+            return self._arrival.values[start:stop].copy(), (lo, hi)
 
     def oid_at_or_after(self, instant_ms: int) -> int:
         """Smallest live oid whose arrival time is >= *instant_ms*."""
@@ -234,6 +289,11 @@ class Basket:
                 bat.delete_head(drop)
             self._arrival.delete_head(drop)
             self.total_dropped += drop
+            if self._stamps:
+                # stamps whose range is entirely vacuumed can never be
+                # resolved again
+                self._stamps = [s for s in self._stamps
+                                if s[1] > self.first_oid]
             return drop
 
     # -- locking (factories bracket plan bodies with these) -------------------------
@@ -260,7 +320,8 @@ class Basket:
             return {"size": len(self), "total_in": self.total_in,
                     "total_dropped": self.total_dropped,
                     "high_water": self.high_water,
-                    "subscribers": len(self._subs)}
+                    "subscribers": len(self._subs),
+                    "stamps": len(self._stamps)}
 
     def __repr__(self) -> str:
         return (f"Basket({self.name}, size={len(self)}, "

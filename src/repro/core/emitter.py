@@ -101,13 +101,49 @@ class BasketSink(Sink):
     baskets*: a factory "creates a result set, which it then places in
     its output baskets", where further standing queries (or emitters)
     pick it up. This is what makes multi-stage query networks
-    (Figure 3) composable."""
+    (Figure 3) composable.
 
-    def __init__(self, basket):
+    With a producer bound (:meth:`bind_producer`), each appended oid
+    range is stamped with the producing plan's emit fingerprint and —
+    when a recycler is attached — the payload is adopted as the shared
+    window slice for exactly that range, so a downstream stage's scan
+    of the output basket is a cache hit instead of a
+    re-materialization (fingerprint flow across the stage boundary).
+    """
+
+    def __init__(self, basket, recycler=None):
         self.basket = basket
+        self.recycler = recycler
+        self._producer = None
+        self.stamped_ranges = 0
+
+    def bind_producer(self, factory) -> None:
+        """Attach the factory whose firings feed this sink; its
+        :meth:`~repro.core.factory.Factory.emit_stamp` provides the
+        per-firing fingerprint (None disables stamping)."""
+        self._producer = factory
 
     def deliver(self, result: Relation, now: int) -> None:
-        self.basket.append_relation(result, now)
+        fp = self._producer.emit_stamp() \
+            if self._producer is not None else None
+        if fp is None:
+            self.basket.append_relation(result, now)
+            return
+        schema = self.basket.schema
+        if result.names != schema.names:
+            result = result.renamed(schema.names)
+        lo, hi = self.basket.append_stamped(result, now, fp)
+        if self.recycler is None or hi <= lo:
+            return
+        # only adopt when the payload is exactly what relation(lo, hi)
+        # would materialize — a dtype mismatch means the basket
+        # coerced on append and the payload no longer matches
+        if all(result.column(c.name).dtype == c.dtype
+               for c in schema.columns):
+            self.stamped_ranges += 1
+            self.recycler.adopt_slice(
+                self.basket.name, lo, hi, result, fp,
+                cost_ms=self._producer.last_eval_ms)
 
 
 class QueueSink(Sink):

@@ -85,18 +85,25 @@ class DataCellEngine:
                  recycler_enabled: bool = True,
                  recycler_budget_bytes: int = DEFAULT_BUDGET_BYTES,
                  recycler_verify: bool = False,
+                 recycler_policy: str = "benefit",
                  parallel_workers: Optional[int] = None):
         """``parallel_workers`` sizes the scheduler's firing pool:
         ``None``/``1`` (default) keeps the serial cascade — the
         deterministic path every SimulatedClock run gets unless
         parallelism is explicitly requested — ``0`` or ``"auto"`` uses
         one worker per core, any other int is a literal thread count.
-        Emitted results are byte-identical either way."""
+        Emitted results are byte-identical either way.
+
+        ``recycler_policy`` selects the cache eviction policy:
+        ``"benefit"`` (default) ranks entries by benefit density
+        (recompute cost x reuse frequency per byte, the MonetDB
+        Recycler heuristic), ``"lru"`` is pure recency."""
         self.clock = clock if clock is not None else SimulatedClock()
         self.catalog = Catalog()
         self.recycler = Recycler(recycler_budget_bytes,
                                  enabled=recycler_enabled,
-                                 verify=recycler_verify)
+                                 verify=recycler_verify,
+                                 policy=recycler_policy)
         self.scheduler = PetriNetScheduler(
             self.clock,
             recycler=self.recycler if recycler_enabled else None,
@@ -415,6 +422,7 @@ class DataCellEngine:
         emitter.add_sink(collecting)
         if sink is not None:
             emitter.add_sink(sink)
+        out_sink = None
         if output_stream is not None:
             from repro.core.emitter import BasketSink
 
@@ -429,13 +437,21 @@ class DataCellEngine:
             else:
                 out_basket = self.create_stream(output_stream,
                                                 plan.schema)
-            emitter.add_sink(BasketSink(out_basket))
+            out_sink = BasketSink(
+                out_basket,
+                recycler=self.recycler
+                if self.recycler.enabled else None)
+            emitter.add_sink(out_sink)
 
         baskets = {s: self.basket(s) for s in stream_names}
         factory = self._build_factory(
             name, plan, continuous_program, analysis, resolved_mode,
             specs, baskets, emitter, min_batch, max_delay_ms,
             cache_enabled)
+        if out_sink is not None and isinstance(factory, ReevalFactory):
+            # chained networks: let the output basket stamp each
+            # appended range with the producing plan's emit fingerprint
+            out_sink.bind_producer(factory)
         self.scheduler.add_factory(factory)
 
         query = ContinuousQuery(name, sql, plan, program,

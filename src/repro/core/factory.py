@@ -26,7 +26,9 @@ from repro.core.emitter import Emitter
 from repro.core.incremental import IncrementalAnalysis, IncrementalExecutor
 from repro.core.windows import BasicWindowTracker, WindowState
 from repro.errors import FactoryError
-from repro.mal.fingerprint import fingerprint_program
+from repro.mal.fingerprint import (emit_fingerprint,
+                                   fingerprint_program,
+                                   program_fingerprint)
 from repro.mal.interpreter import MALContext, MALInterpreter
 from repro.mal.program import MALProgram
 from repro.mal.relation import Relation
@@ -72,6 +74,10 @@ class Factory:
         self.busy_seconds = 0.0
         self.last_error: Optional[Exception] = None
         self.last_result: Optional[Relation] = None
+        # wall time of the last successful _evaluate, in ms — the
+        # recompute cost a chained output basket charges its adopted
+        # emit payloads with
+        self.last_eval_ms = 0.0
         # one firing at a time per factory: the parallel scheduler only
         # ever schedules a factory into one wave slot, but engine-level
         # callers (live mode, shell) may also fire concurrently
@@ -102,6 +108,8 @@ class Factory:
             started = time.perf_counter()
             try:
                 result, consumed = self._evaluate(now)
+                self.last_eval_ms = \
+                    (time.perf_counter() - started) * 1000.0
                 self._commit(now, consumed)
             except Exception as exc:  # quarantine factory, keep the net
                 self.state = FAILED
@@ -128,6 +136,14 @@ class Factory:
     def _commit(self, now: int, consumed: Optional[Any]) -> None:
         """Advance window cursors/subscriptions after a successful
         evaluation."""
+        return None
+
+    def emit_stamp(self) -> Optional[str]:
+        """Emit fingerprint for the firing currently being delivered,
+        or None when this factory does not stamp its output (no
+        fingerprints, or an execution mode without them). A chained
+        :class:`~repro.core.emitter.BasketSink` consults this while
+        :meth:`fire` holds the firing lock."""
         return None
 
     def input_streams(self) -> List[str]:
@@ -187,6 +203,12 @@ class ReevalFactory(Factory):
         # program: computed once here, consulted every firing
         self._fingerprints = fingerprint_program(program) \
             if recycler is not None else None
+        # whole-plan identity for stamping chained emits; the
+        # per-firing emit fingerprint combines it with the input
+        # window ranges the firing evaluated
+        self._plan_fp = program_fingerprint(program) \
+            if recycler is not None else None
+        self._emit_fp: Optional[str] = None
 
     def enabled(self, now: int) -> bool:
         if self.state != RUNNING:
@@ -214,9 +236,9 @@ class ReevalFactory(Factory):
         for w in states:
             if w.pending_tuples() <= 0:
                 continue
-            arr = w.basket.arrival_slice(w.sub.read_upto,
-                                         w.sub.read_upto + 1)
-            if len(arr):
+            arr, (lo, _hi) = w.basket.arrival_slice(
+                w.sub.read_upto, w.sub.read_upto + 1)
+            if len(arr) and lo == w.sub.read_upto:
                 t = int(arr[0])
                 oldest = t if oldest is None else min(oldest, t)
         return oldest is not None and now - oldest >= self.max_delay_ms
@@ -246,8 +268,15 @@ class ReevalFactory(Factory):
                                 fingerprints=self._fingerprints,
                                 window_ranges=ranges)
         result = interp.run(self.program)
+        if self._plan_fp is not None:
+            self._emit_fp = emit_fingerprint(
+                self._plan_fp,
+                [(s, lo, hi) for s, (lo, hi) in ranges.items()])
         return result, {stream: hi for stream, (_lo, hi)
                         in ranges.items()}
+
+    def emit_stamp(self) -> Optional[str]:
+        return self._emit_fp
 
     def _commit(self, now: int,
                 consumed: Optional[Dict[str, int]]) -> None:

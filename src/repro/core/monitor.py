@@ -127,7 +127,8 @@ class Monitor:
             stats = recycler.stats()
             state = "on" if stats["enabled"] else "off"
             lines.append(
-                f"  recycler [{state}]: hits={stats['hits']} "
+                f"  recycler [{state}] ({stats['policy']}): "
+                f"hits={stats['hits']} "
                 f"misses={stats['misses']} "
                 f"slice_hits={stats['slice_hits']} "
                 f"slice_misses={stats['slice_misses']} "
@@ -135,6 +136,12 @@ class Monitor:
                 f"invalidations={stats['invalidations']} "
                 f"entries={stats['entries']} "
                 f"bytes={stats['bytes']}/{stats['budget_bytes']}")
+            if stats["chain_stamped"] or stats["bytes_saved"]:
+                lines.append(
+                    f"    chain: stamped={stats['chain_stamped']} "
+                    f"hits={stats['chain_hits']} | saved "
+                    f"{stats['bytes_saved']} bytes, "
+                    f"{stats['cost_saved_ms']:.1f} ms recompute")
         return "\n".join(lines)
 
     def net(self) -> str:

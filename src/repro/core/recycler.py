@@ -23,10 +23,33 @@ stable for the lifetime of a tuple, a cached value never goes stale:
 the content of window ``[lo, hi)`` cannot change. Invalidation is
 therefore about memory, not correctness — entries whose windows fall
 entirely below a basket's vacuumed ``first_oid`` can never be requested
-again and are dropped eagerly (:meth:`Recycler.evict_dead`), an LRU
-byte budget bounds the rest, and :meth:`Recycler.purge_basket` guards
+again and are dropped eagerly (:meth:`Recycler.evict_dead`), a byte
+budget bounds the rest, and :meth:`Recycler.purge_basket` guards
 the one true-staleness case (a stream dropped and re-created under the
 same name restarts its oid sequence).
+
+Two budget-eviction policies are available (``policy=``):
+
+* ``"benefit"`` (default) — MonetDB's recycler weighting (Ivanova et
+  al.): evict the entry with the lowest *benefit density*
+  ``cost_ms × (1 + reuses) / nbytes``, i.e. cheapest to recompute,
+  least reused, largest. Every entry records its evaluation wall time
+  at insert (the interpreter brackets each instruction; window-slice
+  materialization is timed here) and counts its reuses; recency is
+  only the tie-breaker, so a hot-but-large intermediate survives a
+  churn of one-shot entries that plain LRU would let push it out.
+* ``"lru"`` — the original recency-only order, preserved for the
+  equivalence suite and as an ablation baseline.
+
+A third sharing layer rides on the same cache: **chained emit
+payloads**. When a factory appends a firing's result into an
+``output_stream`` basket, the appended oid range is stamped with the
+producing plan's fingerprint (:func:`repro.mal.fingerprint.
+emit_fingerprint`) and the payload is adopted as the window slice for
+exactly that range (:meth:`Recycler.adopt_slice`). A downstream
+stage's scan of the output basket then resolves to the upstream emit
+payload directly — the stage boundary is a cache hit, not a
+re-materialization.
 
 Cached values are shared across factories and must be treated as
 immutable — the kernel's operators are pure (they allocate fresh
@@ -36,6 +59,7 @@ outputs), which is what makes this safe.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Dict, Iterable, Optional, Tuple
 
@@ -50,6 +74,7 @@ _SLICE = "slice"
 _INS = "ins"
 
 DEFAULT_BUDGET_BYTES = 64 << 20
+POLICIES = ("benefit", "lru")
 
 
 def payload_nbytes(value: Any) -> int:
@@ -69,28 +94,46 @@ def payload_nbytes(value: Any) -> int:
 
 
 class _Entry:
-    __slots__ = ("value", "nbytes", "ranges")
+    __slots__ = ("value", "nbytes", "ranges", "cost_ms", "reuses",
+                 "chained")
 
     def __init__(self, value: Any, nbytes: int,
-                 ranges: Tuple[Tuple[str, int, int], ...]):
+                 ranges: Tuple[Tuple[str, int, int], ...],
+                 cost_ms: float = 0.0, chained: bool = False):
         self.value = value
         self.nbytes = nbytes
         self.ranges = ranges
+        self.cost_ms = cost_ms
+        self.reuses = 0
+        self.chained = chained
+
+    def density(self) -> float:
+        """Benefit density: recompute cost × reuse frequency / bytes."""
+        return (self.cost_ms * (1.0 + self.reuses)) / max(self.nbytes, 1)
 
 
 class Recycler:
-    """A per-engine LRU cache of shareable streaming intermediates.
+    """A per-engine cache of shareable streaming intermediates.
 
-    ``verify=True`` turns on the equivalence mode used by tests: the
-    interpreter re-executes every instruction that hits the cache and
-    asserts the recycled value matches the freshly computed one.
+    ``policy`` picks the budget-eviction order: ``"benefit"`` (cost ×
+    reuses / bytes, recency as tie-breaker) or ``"lru"`` (recency
+    only). ``verify=True`` turns on the equivalence mode used by
+    tests: the interpreter re-executes every instruction that hits the
+    cache and asserts the recycled value matches the freshly computed
+    one.
     """
 
     def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES,
-                 enabled: bool = True, verify: bool = False):
+                 enabled: bool = True, verify: bool = False,
+                 policy: str = "benefit"):
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown recycler policy {policy!r} "
+                f"(expected one of {POLICIES})")
         self.budget_bytes = int(budget_bytes)
         self.enabled = enabled
         self.verify = verify
+        self.policy = policy
         self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
         # concurrent factory firings (the scheduler's worker pool)
         # share this cache: every get/put/evict holds the lock so the
@@ -106,6 +149,16 @@ class Recycler:
         self.invalidations = 0
         self.slice_hits = 0
         self.slice_misses = 0
+        # benefit accounting: work the cache provably absorbed
+        self.bytes_saved = 0
+        self.cost_saved_ms = 0.0
+        # chained emit payloads adopted / resolved at stage boundaries
+        self.chain_stamped = 0
+        self.chain_hits = 0
+        # why entries left: budget pressure (per policy), vacuumed
+        # windows, stream drop
+        self.eviction_reasons: Dict[str, int] = {
+            "lru": 0, "benefit": 0, "dead": 0, "purge": 0}
 
     def __len__(self) -> int:
         with self._mutex:
@@ -119,20 +172,50 @@ class Recycler:
             self._entries.move_to_end(key)
         return entry
 
+    def _account_hit(self, entry: _Entry) -> None:
+        entry.reuses += 1
+        self.bytes_saved += entry.nbytes
+        self.cost_saved_ms += entry.cost_ms
+        if entry.chained:
+            self.chain_hits += 1
+
+    def _pick_victim(self) -> tuple:
+        """Key of the next budget-pressure victim under the policy.
+
+        ``"lru"`` takes the head of the recency order. ``"benefit"``
+        scans for the minimum benefit density; iteration follows the
+        recency order (LRU first), and a strictly-lower comparison
+        keeps the earliest minimum — i.e. LRU breaks density ties.
+        """
+        if self.policy == "lru":
+            return next(iter(self._entries))
+        victim_key = None
+        victim_density = float("inf")
+        for key, entry in self._entries.items():
+            density = entry.density()
+            if density < victim_density:
+                victim_key = key
+                victim_density = density
+        return victim_key
+
     def _put(self, key: tuple, value: Any,
-             ranges: Tuple[Tuple[str, int, int], ...]) -> None:
+             ranges: Tuple[Tuple[str, int, int], ...],
+             cost_ms: float = 0.0, chained: bool = False) -> None:
         nbytes = payload_nbytes(value)
         if nbytes > self.budget_bytes:
             return  # larger than the whole cache: not worth keeping
         old = self._entries.pop(key, None)
         if old is not None:
             self.bytes_used -= old.nbytes
-        self._entries[key] = _Entry(value, nbytes, ranges)
+        self._entries[key] = _Entry(value, nbytes, ranges, cost_ms,
+                                    chained)
         self.bytes_used += nbytes
         while self.bytes_used > self.budget_bytes and self._entries:
-            _k, victim = self._entries.popitem(last=False)
+            victim_key = self._pick_victim()
+            victim = self._entries.pop(victim_key)
             self.bytes_used -= victim.nbytes
             self.evictions += 1
+            self.eviction_reasons[self.policy] += 1
 
     # -- shared window slices ------------------------------------------
 
@@ -153,12 +236,37 @@ class Recycler:
             entry = self._get(key)
             if entry is not None:
                 self.slice_hits += 1
+                self._account_hit(entry)
                 return entry.value, (lo, hi)
             self.slice_misses += 1
+        started = time.perf_counter()
         rel = basket.relation(lo, hi)
+        cost_ms = (time.perf_counter() - started) * 1000.0
         with self._mutex:
-            self._put(key, rel, ((basket.name, lo, hi),))
+            self._put(key, rel, ((basket.name, lo, hi),), cost_ms)
         return rel, (lo, hi)
+
+    def adopt_slice(self, basket_name: str, lo: int, hi: int,
+                    rel: Relation, fp: str,
+                    cost_ms: float = 0.0) -> None:
+        """Adopt a chained emit payload as the slice for ``[lo, hi)``.
+
+        Called by a :class:`~repro.core.emitter.BasketSink` right after
+        it appended *rel* to output basket *basket_name* at that oid
+        range, with *fp* the producing plan's emit fingerprint
+        (provenance; the basket records it per range) and *cost_ms*
+        the upstream firing's evaluation wall time — what the entry
+        saves a downstream stage from paying again. A later
+        :meth:`window_slice` for exactly that range then returns the
+        emitted payload without re-materializing the basket window.
+        """
+        if not self.enabled or hi <= lo:
+            return
+        key = (_SLICE, basket_name.lower(), lo, hi)
+        with self._mutex:
+            self._put(key, rel, ((basket_name.lower(), lo, hi),),
+                      cost_ms, chained=True)
+            self.chain_stamped += 1
 
     # -- instruction intermediates -------------------------------------
 
@@ -177,13 +285,18 @@ class Recycler:
                 self.misses += 1
                 return False, None
             self.hits += 1
+            self._account_hit(entry)
             return True, entry.value
 
-    def store(self, key: tuple, value: Any) -> None:
+    def store(self, key: tuple, value: Any,
+              cost_ms: float = 0.0) -> None:
+        """Publish an instruction result; *cost_ms* is the evaluation
+        wall time the interpreter measured for it (the recompute cost
+        the benefit-density policy weighs)."""
         if not self.enabled:
             return
         with self._mutex:
-            self._put(key, value, key[2])
+            self._put(key, value, key[2], cost_ms)
 
     # -- invalidation ---------------------------------------------------
 
@@ -211,6 +324,7 @@ class Recycler:
                 entry = self._entries.pop(key)
                 self.bytes_used -= entry.nbytes
                 self.invalidations += 1
+                self.eviction_reasons["dead"] += 1
             return len(dead)
 
     def purge_basket(self, basket_name: str) -> int:
@@ -226,6 +340,7 @@ class Recycler:
                 entry = self._entries.pop(key)
                 self.bytes_used -= entry.nbytes
                 self.invalidations += 1
+                self.eviction_reasons["purge"] += 1
             return len(dead)
 
     def clear(self) -> None:
@@ -235,10 +350,11 @@ class Recycler:
 
     # -- reporting -------------------------------------------------------
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, Any]:
         with self._mutex:
             return {
                 "enabled": int(self.enabled),
+                "policy": self.policy,
                 "entries": len(self._entries),
                 "bytes": self.bytes_used,
                 "budget_bytes": self.budget_bytes,
@@ -246,12 +362,18 @@ class Recycler:
                 "misses": self.misses,
                 "slice_hits": self.slice_hits,
                 "slice_misses": self.slice_misses,
+                "chain_stamped": self.chain_stamped,
+                "chain_hits": self.chain_hits,
+                "bytes_saved": self.bytes_saved,
+                "cost_saved_ms": round(self.cost_saved_ms, 3),
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "eviction_reasons": dict(self.eviction_reasons),
             }
 
     def __repr__(self) -> str:
-        return (f"Recycler(entries={len(self._entries)}, "
+        return (f"Recycler(policy={self.policy}, "
+                f"entries={len(self._entries)}, "
                 f"bytes={self.bytes_used}, hits={self.hits}, "
                 f"misses={self.misses})")
 

@@ -86,6 +86,13 @@ class PetriNetScheduler:
     def _resolve_workers(parallel_workers) -> int:
         """``None``/``1`` = serial; ``0``/``"auto"`` = one worker per
         core; any other positive int is taken literally."""
+        if isinstance(parallel_workers, bool):
+            # bool is an int subtype: True == 1 would silently run the
+            # net serially when the caller asked for parallelism (and
+            # False == 0 would silently mean "auto")
+            raise SchedulerError(
+                f"parallel_workers must be an int, None or 'auto', got "
+                f"{parallel_workers!r}")
         if parallel_workers is None or parallel_workers == 1:
             return 1
         if parallel_workers == 0 or parallel_workers == "auto":
@@ -152,14 +159,20 @@ class PetriNetScheduler:
         self.failed_total += 1
 
     def step(self) -> Dict[str, int]:
-        """One net evaluation at the current clock time."""
-        if self.paused:
-            return {"ingested": 0, "fired": 0, "dropped": 0}
+        """One net evaluation at the current clock time.
+
+        While :attr:`paused` the net still pumps receptors — pause
+        holds back *firing* (and vacuuming), not arrival; events keep
+        landing in their baskets so nothing in flight is lost while
+        the operator inspects the net.
+        """
         now = self.clock.now()
         self.steps += 1
         ingested = 0
         for receptor in self.receptors:
             ingested += receptor.pump(now)
+        if self.paused:
+            return {"ingested": ingested, "fired": 0, "dropped": 0}
 
         fired = 0
         fire_round = self._serial_round if self.parallel_workers == 1 \
@@ -268,8 +281,20 @@ class PetriNetScheduler:
                        for factory in wave]
             outcomes = [future.result() for future in futures]
             self.parallel_fires += sum(fired for fired, _exc in outcomes)
+            # settle every outcome before raising: a fatal error in one
+            # burst must not drop the other bursts' fire counts or
+            # leave their FactoryErrors unrecorded
+            fatal: Optional[Exception] = None
             for fired, exc in outcomes:
-                progressed += self._settle(fired, exc)
+                progressed += fired
+                if exc is None:
+                    continue
+                if isinstance(exc, FactoryError):
+                    self._record_failure(exc)
+                elif fatal is None:
+                    fatal = exc
+            if fatal is not None:
+                raise fatal
         return progressed
 
     def _partition_waves(self, enabled: List[Factory]

@@ -28,7 +28,7 @@ SIGMOD 2009), adapted to DataCell's continuous plans.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.mal.program import Const, Instruction, MALProgram, Var
 
@@ -151,6 +151,27 @@ def program_fingerprint(program: MALProgram) -> str:
     parts: List[str] = []
     for info in fingerprint_program(program):
         parts.append("-" if info is None else info.fp)
+    return _digest("|".join(parts))
+
+
+def emit_fingerprint(plan_fp: str,
+                     ranges: Iterable[Tuple[str, int, int]]) -> str:
+    """Digest identifying one emit payload of a chained plan.
+
+    Combines the producing plan's structural fingerprint
+    (:func:`program_fingerprint`) with the absolute oid ranges of the
+    stream windows that firing evaluated — the same plan over the same
+    windows always emits the same payload, so the digest is a content
+    identity for the appended output-basket range. Output baskets
+    stamp each appended range with it (:meth:`repro.core.basket.
+    Basket.append_stamped`) and the recycler adopts the payload under
+    the matching slice key, which is how fingerprint lineage flows
+    across a stage boundary instead of stopping at leaf stream
+    windows.
+    """
+    parts = [plan_fp]
+    for name, lo, hi in sorted(ranges):
+        parts.append(f"{str(name).lower()}:{lo}:{hi}")
     return _digest("|".join(parts))
 
 

@@ -11,6 +11,7 @@ opcodes that bind, lock and drain stream baskets.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
@@ -115,9 +116,14 @@ class MALInterpreter:
                 self._verify_hit(instr, env, value)
             self._bind(instr, value, env)
             return
+        # bracket the evaluation: the wall time is the entry's
+        # recompute cost, which the benefit-density policy weighs
+        # against its size at eviction time
+        started = time.perf_counter()
         value = self._execute(instr, env)
+        cost_ms = (time.perf_counter() - started) * 1000.0
         self._bind(instr, value, env)
-        self.recycler.store(key, value)
+        self.recycler.store(key, value, cost_ms=cost_ms)
 
     def _verify_hit(self, instr: Instruction, env: Dict[str, Any],
                     cached: Any) -> None:

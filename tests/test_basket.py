@@ -71,7 +71,26 @@ class TestOids:
     def test_arrival_slice(self, basket):
         basket.append_rows([(1, 1.0)], now=5)
         basket.append_rows([(2, 2.0)], now=9)
-        assert basket.arrival_slice(0, 2).tolist() == [5, 9]
+        arr, (lo, hi) = basket.arrival_slice(0, 2)
+        assert arr.tolist() == [5, 9]
+        assert (lo, hi) == (0, 2)
+
+    def test_arrival_slice_reports_clamped_range(self, basket):
+        # after a partial vacuum a stale lo_oid falls below first_oid;
+        # the returned bounds tell the caller which oids the array
+        # actually covers (arr[i] is the arrival of lo + i)
+        for i in range(5):
+            basket.append_rows([(i, float(i))], now=10 + i)
+        sub = basket.subscribe("q", from_start=True)
+        sub.release(3)
+        assert basket.vacuum() == 3
+        arr, (lo, hi) = basket.arrival_slice(0, 5)
+        assert (lo, hi) == (3, 5)
+        assert arr.tolist() == [13, 14]
+        # fully vacuumed range: empty array, collapsed bounds
+        arr, (lo, hi) = basket.arrival_slice(0, 2)
+        assert arr.tolist() == []
+        assert lo == hi == 3
 
     def test_oid_at_or_after(self, basket):
         basket.append_rows([(1, 1.0)], now=5)
@@ -153,4 +172,4 @@ class TestStats:
         basket.append_rows([(1, 1.0)], now=0)
         stats = basket.stats()
         assert stats == {"size": 1, "total_in": 1, "total_dropped": 0,
-                         "high_water": 1, "subscribers": 0}
+                         "high_water": 1, "subscribers": 0, "stamps": 0}

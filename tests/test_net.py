@@ -101,7 +101,7 @@ class TestSocketReceptor:
         assert receptor.pump(now=5) == 2
         assert len(basket) == 2
         assert receptor.total_ingested == 2
-        assert basket.arrival_slice(0, 2).tolist() == [5, 5]
+        assert basket.arrival_slice(0, 2)[0].tolist() == [5, 5]
 
     def test_shed_policy_counts(self, basket):
         receptor = SocketReceptor("r", basket, max_pending=2,
@@ -339,8 +339,12 @@ class TestServer:
         server = DataCellServer(engine, admission="shed",
                                 max_pending_batches=2)
         server.start()
+        # stall the scheduler loop (paused nets still pump receptors,
+        # so pausing no longer models a scheduler that can't drain)
+        real_step = engine.scheduler.step
+        engine.scheduler.step = \
+            lambda: {"ingested": 0, "fired": 0, "dropped": 0}
         try:
-            engine.scheduler.paused = True  # scheduler can't drain
             with DataCellClient(port=server.port) as producer:
                 shed = 0
                 for i in range(5):
@@ -354,8 +358,9 @@ class TestServer:
                 assert stats["net"]["totals"]["shed"] == 9
             pane = engine.monitor.net()
             assert "shed=9" in pane
-            engine.scheduler.paused = False
+            engine.scheduler.step = real_step
         finally:
+            engine.scheduler.step = real_step
             server.stop()
             engine.close()
 
@@ -368,8 +373,12 @@ class TestServer:
                                 max_pending_batches=1,
                                 block_timeout_s=10.0)
         server.start()
+        # stall the scheduler loop (paused nets still pump receptors,
+        # so pausing no longer models a scheduler that can't drain)
+        real_step = engine.scheduler.step
+        engine.scheduler.step = \
+            lambda: {"ingested": 0, "fired": 0, "dropped": 0}
         try:
-            engine.scheduler.paused = True
             producer = DataCellClient(port=server.port, timeout_s=10.0)
             watcher = DataCellClient(port=server.port)
             producer.ingest("s", [[0, 1.0]])  # fills the queue
@@ -385,12 +394,13 @@ class TestServer:
             time.sleep(0.3)
             assert not unblocked.is_set()  # producer is stuck
             assert watcher.stats()["net"]["totals"]["blocked"] >= 1
-            engine.scheduler.paused = False  # drain -> unblock
+            engine.scheduler.step = real_step  # drain -> unblock
             assert unblocked.wait(5.0)
             assert "blocked=" in engine.monitor.net()
             producer.close()
             watcher.close()
         finally:
+            engine.scheduler.step = real_step
             server.stop()
             engine.close()
 

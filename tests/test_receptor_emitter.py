@@ -62,7 +62,7 @@ class TestReceptor:
         receptor = Receptor("r", basket,
                             ListSource([(5, (1,)), (5, (2,))]))
         assert receptor.pump(now=5) == 2
-        assert basket.arrival_slice(0, 2).tolist() == [5, 5]
+        assert basket.arrival_slice(0, 2)[0].tolist() == [5, 5]
 
     def test_next_event_time(self, basket):
         receptor = Receptor("r", basket, ListSource([(7, (1,))]))

@@ -9,6 +9,7 @@ the same workload (filter fleets, windowed aggregates, joins).
 """
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -225,6 +226,10 @@ class TestRecyclerMechanics:
         assert rec.lookup(key) == (False, None)
         assert len(rec) == 0
 
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Recycler(policy="mru")
+
     def test_payload_nbytes_shapes(self):
         arr = np.zeros(10, dtype=np.int64)
         assert payload_nbytes(arr) == 80
@@ -244,6 +249,171 @@ class TestRecyclerMechanics:
         assert not payloads_equal(np.zeros(2), np.zeros(3))
         assert payloads_equal((1, 2.0), (1, 2.0))
         assert not payloads_equal(int_bat([1]), np.array([1]))
+
+
+class TestBenefitPolicy:
+    """Benefit-density eviction (cost × reuses / bytes) vs plain LRU,
+    on sequences where the two policies disagree."""
+
+    def _keys(self, rec, n):
+        return [rec.instruction_key(f"fp{i}", [("s", i, i + 1)])
+                for i in range(n)]
+
+    def test_costly_entry_survives_cheap_newcomer(self):
+        # LRU would evict the oldest entry; benefit keeps the one that
+        # is expensive to recompute and sheds the near-free newcomer
+        item = np.zeros(128, dtype=np.int64)
+        rec = Recycler(budget_bytes=2 * item.nbytes, policy="benefit")
+        k = self._keys(rec, 3)
+        rec.store(k[0], item.copy(), cost_ms=50.0)   # oldest, costly
+        rec.store(k[1], item.copy(), cost_ms=0.001)  # newer, near-free
+        rec.store(k[2], item.copy(), cost_ms=1.0)
+        assert rec.lookup(k[0])[0] is True
+        assert rec.lookup(k[1])[0] is False
+        assert rec.stats()["eviction_reasons"]["benefit"] == 1
+
+        lru = Recycler(budget_bytes=2 * item.nbytes, policy="lru")
+        lru.store(k[0], item.copy(), cost_ms=50.0)
+        lru.store(k[1], item.copy(), cost_ms=0.001)
+        lru.store(k[2], item.copy(), cost_ms=1.0)
+        assert lru.lookup(k[0])[0] is False          # recency only
+        assert lru.lookup(k[1])[0] is True
+        assert lru.stats()["eviction_reasons"]["lru"] == 1
+
+    def test_reuses_raise_density(self):
+        # equal cost and size: the reused entry outranks the idle one
+        # even though it is older
+        item = np.zeros(128, dtype=np.int64)
+        rec = Recycler(budget_bytes=2 * item.nbytes, policy="benefit")
+        k = self._keys(rec, 3)
+        rec.store(k[0], item.copy(), cost_ms=1.0)
+        rec.store(k[1], item.copy(), cost_ms=1.0)
+        assert rec.lookup(k[0])[0] is True            # reuse bumps k0
+        rec.store(k[2], item.copy(), cost_ms=1.0)
+        assert rec.lookup(k[0])[0] is True
+        assert rec.lookup(k[1])[0] is False
+
+    def test_smaller_payload_wins_at_equal_cost(self):
+        # same cost, same reuse: the big entry has the lower density
+        big = np.zeros(256, dtype=np.int64)
+        small = np.zeros(32, dtype=np.int64)
+        rec = Recycler(budget_bytes=2 * big.nbytes, policy="benefit")
+        k = self._keys(rec, 3)
+        rec.store(k[0], small.copy(), cost_ms=1.0)
+        rec.store(k[1], big.copy(), cost_ms=1.0)
+        rec.store(k[2], big.copy(), cost_ms=1.0)      # over budget
+        assert rec.lookup(k[0])[0] is True
+        assert rec.lookup(k[1])[0] is False
+
+    def test_zero_cost_entries_degrade_to_lru_order(self):
+        # without cost accounting every density is 0.0; the strictly-
+        # less victim scan then keeps the recency order, so stores
+        # without timings behave exactly like the lru policy
+        item = np.zeros(128, dtype=np.int64)
+        rec = Recycler(budget_bytes=2 * item.nbytes, policy="benefit")
+        k = self._keys(rec, 3)
+        for key in k:
+            rec.store(key, item.copy())
+        assert rec.lookup(k[0])[0] is False
+        assert rec.lookup(k[1])[0] is True
+        assert rec.lookup(k[2])[0] is True
+
+    def test_hit_accounting(self):
+        rec = Recycler(policy="benefit")
+        key = rec.instruction_key("fp", [("s", 0, 4)])
+        rec.store(key, int_bat([1, 2, 3, 4]), cost_ms=2.0)
+        rec.lookup(key)
+        rec.lookup(key)
+        stats = rec.stats()
+        assert stats["bytes_saved"] == 2 * payload_nbytes(
+            int_bat([1, 2, 3, 4]))
+        assert stats["cost_saved_ms"] == pytest.approx(4.0)
+
+
+class TestChainAdoption:
+    """Fingerprint flow across a stage boundary: output baskets stamp
+    emitted ranges and the recycler adopts the payload as the slice."""
+
+    def test_adopt_slice_resolves_downstream_scan(self):
+        rec = Recycler()
+        basket = Basket("mid", Schema.parse([("k", "INT")]))
+        rel = Relation([("k", int_bat([1, 2]))])
+        lo, hi = basket.append_stamped(rel, now=0, fp="feedbeef")
+        rec.adopt_slice("mid", lo, hi, rel, "feedbeef", cost_ms=5.0)
+        got, rng = rec.window_slice(basket, lo, hi)
+        assert got is rel                  # the emit payload itself
+        assert rng == (lo, hi)
+        stats = rec.stats()
+        assert stats["chain_stamped"] == 1
+        assert stats["chain_hits"] == 1
+        assert stats["slice_hits"] == 1
+        assert stats["slice_misses"] == 0
+        assert stats["cost_saved_ms"] == pytest.approx(5.0)
+
+    def test_adopt_empty_range_is_noop(self):
+        rec = Recycler()
+        rec.adopt_slice("mid", 3, 3, Relation([("k", int_bat([]))]),
+                        "fp")
+        assert len(rec) == 0
+        assert rec.stats()["chain_stamped"] == 0
+
+    def test_partial_range_still_materializes(self):
+        # a downstream window that covers only part of the emitted
+        # range misses the adopted entry and materializes normally
+        rec = Recycler()
+        basket = Basket("mid", Schema.parse([("k", "INT")]))
+        rel = Relation([("k", int_bat([1, 2, 3]))])
+        lo, hi = basket.append_stamped(rel, now=0, fp="fp")
+        rec.adopt_slice("mid", lo, hi, rel, "fp", cost_ms=1.0)
+        got, rng = rec.window_slice(basket, lo + 1, hi)
+        assert got is not rel
+        assert got.to_rows() == [(2,), (3,)]
+        assert rng == (lo + 1, hi)
+        assert rec.stats()["chain_hits"] == 0
+
+    def test_basket_range_stamps(self):
+        basket = Basket("mid", Schema.parse([("k", "INT")]))
+        r1 = Relation([("k", int_bat([1, 2]))])
+        r2 = Relation([("k", int_bat([3]))])
+        assert basket.append_stamped(r1, now=0, fp="aa") == (0, 2)
+        assert basket.append_stamped(r2, now=1, fp="bb") == (2, 3)
+        assert basket.range_stamp(0, 2) == "aa"
+        assert basket.range_stamp(2, 3) == "bb"
+        assert basket.range_stamp(0, 3) is None     # not one append
+        assert basket.stats()["stamps"] == 2
+        # vacuum trims stamps whose range is entirely dropped
+        sub = basket.subscribe("q", from_start=True)
+        sub.release(2)
+        assert basket.vacuum() == 2
+        assert basket.range_stamps() == [(2, 3, "bb")]
+
+    def test_chained_network_stage_boundary_hits(self):
+        """End to end: a two-stage chained network resolves the
+        downstream stage's scan of the output basket as a recycler
+        chain hit, and the emitted results match a recycler-off run."""
+
+        def setup(engine):
+            engine.execute("CREATE STREAM s (k INT, v FLOAT)")
+            engine.register_continuous(
+                "SELECT k, v FROM s WHERE v > 0", name="stage1",
+                mode="reeval", output_stream="mid")
+            engine.register_continuous(
+                "SELECT k, v FROM mid WHERE v > 1", name="stage2",
+                mode="reeval")
+            rows = [(i % 4, float(i % 5) - 1.0) for i in range(300)]
+            engine.attach_source("s", RateSource(rows, rate=20000))
+            return ["stage1", "stage2"]
+
+        on_engine = DataCellEngine(recycler_enabled=True)
+        names = setup(on_engine)
+        on_engine.run_until_drained()
+        assert not on_engine.scheduler.failed
+        stats = on_engine.recycler.stats()
+        assert stats["chain_stamped"] > 0
+        assert stats["chain_hits"] > 0
+        mid = on_engine.basket("mid")
+        assert mid.total_in > 0
+        assert run_workload(False, setup) == emitted(on_engine, names)
 
 
 # ---------------------------------------------------------------------------
@@ -322,8 +492,9 @@ def emitted(engine, names):
                    engine.results(name).batches] for name in names}
 
 
-def run_workload(recycler_enabled, setup):
-    engine = DataCellEngine(recycler_enabled=recycler_enabled)
+def run_workload(recycler_enabled, setup, policy="benefit"):
+    engine = DataCellEngine(recycler_enabled=recycler_enabled,
+                            recycler_policy=policy)
     names = setup(engine)
     engine.run_until_drained()
     assert not engine.scheduler.failed, engine.scheduler.failed
@@ -331,9 +502,11 @@ def run_workload(recycler_enabled, setup):
 
 
 def assert_recycler_transparent(setup):
-    on = run_workload(True, setup)
+    """Emissions must be byte-identical with the recycler off, on with
+    LRU eviction, and on with benefit-density eviction."""
     off = run_workload(False, setup)
-    assert on == off
+    for policy in ("lru", "benefit"):
+        assert run_workload(True, setup, policy=policy) == off, policy
 
 
 def sensor_rows_det(n):
@@ -429,5 +602,38 @@ class TestEquivalence:
                                            mode="reeval")
             engine.attach_source("s", RateSource(rows, rate=10000))
             return [f"q{i}" for i in range(len(queries))]
+
+        assert_recycler_transparent(setup)
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_property_chained_networks_policies_agree(self, data):
+        """off == lru == benefit over randomized chained networks:
+        a head stage feeding an output basket, a random fan-out of
+        downstream consumers (some sharing identical plans), random
+        thresholds and stream contents."""
+        n = data.draw(st.integers(20, 100), label="rows")
+        rows = [(data.draw(st.integers(0, 3)),
+                 data.draw(st.floats(-20, 50, allow_nan=False)))
+                for _ in range(n)]
+        t_head = data.draw(st.integers(-5, 5), label="t_head")
+        fanout = data.draw(st.integers(1, 3), label="fanout")
+        tails = [data.draw(st.integers(-5, 5), label=f"t_tail{i}")
+                 for i in range(fanout)]
+
+        def setup(engine):
+            engine.execute("CREATE STREAM s (k INT, v FLOAT)")
+            engine.register_continuous(
+                f"SELECT k, v FROM s WHERE v > {t_head}", name="head",
+                mode="reeval", output_stream="mid")
+            names = ["head"]
+            for i, t in enumerate(tails):
+                engine.register_continuous(
+                    f"SELECT k, v FROM mid WHERE v > {t}",
+                    name=f"tail{i}", mode="reeval")
+                names.append(f"tail{i}")
+            engine.attach_source("s", RateSource(rows, rate=10000))
+            return names
 
         assert_recycler_transparent(setup)

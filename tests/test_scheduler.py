@@ -89,14 +89,25 @@ class TestStep:
         assert scheduler.step() == {"ingested": 0, "fired": 0,
                                     "dropped": 0}
 
-    def test_paused_net_is_inert(self, net):
+    def test_paused_net_still_pumps_receptors(self, net):
+        """Pause holds back firing, not arrival: stepping a paused net
+        keeps draining receptors into baskets so no in-flight event is
+        lost, but fires nothing and vacuums nothing."""
         scheduler, basket, _clock = net
         scheduler.add_receptor(Receptor("r", basket,
                                         ListSource([(0, (1,))])))
+        factory = StubFactory("f", basket)
+        scheduler.add_factory(factory)
         scheduler.paused = True
-        assert scheduler.step()["ingested"] == 0
+        out = scheduler.step()
+        assert out == {"ingested": 1, "fired": 0, "dropped": 0}
+        # the tuple accumulated in the basket while paused
+        assert len(basket) == 1
+        assert factory.fires == 0
         scheduler.paused = False
-        assert scheduler.step()["ingested"] == 1
+        out = scheduler.step()
+        assert out["fired"] == 1
+        assert factory.rows_out == 1
 
     def test_multiple_factories_share_basket(self, net):
         scheduler, basket, _clock = net
@@ -354,6 +365,46 @@ class TestWavePartitioning:
         assert out["fired"] == 1
         assert scheduler.failed_total == 1
 
+    def test_fatal_wave_outcome_settles_siblings_first(self):
+        """A fatal (non-FactoryError) burst outcome used to be
+        re-raised while iterating the wave's outcomes, dropping the
+        fire counts of its wave-mates and leaving their FactoryErrors
+        unrecorded. Every outcome must settle before the fatal one is
+        re-raised."""
+
+        class FatalFactory(StubFactory):
+            def __init__(self, name, basket):
+                super().__init__(name, basket)
+                self._enabled_calls = 0
+
+            def enabled(self, now):
+                # survive the scheduler's enabled-list scan, then wedge
+                # inside the worker's burst loop
+                self._enabled_calls += 1
+                if self._enabled_calls > 1:
+                    raise RuntimeError("wedged")
+                return super().enabled(now)
+
+        scheduler, schema = self._net(workers=3)
+        basket = Basket("s", schema)
+        scheduler.add_basket(basket)
+        fatal = FatalFactory("fatal", basket)
+        bad = StubFactory("bad", basket, fail_after=0)
+        good = StubFactory("good", basket)
+        for factory in (fatal, bad, good):
+            scheduler.add_factory(factory)
+        basket.append_rows([(1,)], now=0)
+        try:
+            with pytest.raises(RuntimeError, match="wedged"):
+                scheduler.step()
+        finally:
+            scheduler.shutdown()
+        # wave-mates settled despite the fatal outcome listed first:
+        # the quarantine was recorded and the good factory's work kept
+        assert bad.state == FAILED
+        assert scheduler.failed_total == 1
+        assert good.fires == 1
+
     def test_resolve_workers(self):
         assert PetriNetScheduler._resolve_workers(None) == 1
         assert PetriNetScheduler._resolve_workers(1) == 1
@@ -362,3 +413,12 @@ class TestWavePartitioning:
         assert PetriNetScheduler._resolve_workers("auto") >= 1
         with pytest.raises(SchedulerError):
             PetriNetScheduler._resolve_workers(-2)
+
+    def test_resolve_workers_rejects_bool(self):
+        """bool is an int subtype: True == 1 would silently run the net
+        serially when the caller asked for parallelism, and False == 0
+        would silently mean 'auto'."""
+        with pytest.raises(SchedulerError):
+            PetriNetScheduler._resolve_workers(True)
+        with pytest.raises(SchedulerError):
+            PetriNetScheduler._resolve_workers(False)
