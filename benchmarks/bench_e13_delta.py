@@ -1,0 +1,163 @@
+"""E13 — Z-set delta execution vs incremental vs re-evaluation.
+
+A grouped sliding-window aggregate with a fixed slide and a growing
+window (n = w/s basic windows). Expected shape: re-evaluation touches
+the whole window per slide (cost grows with n); incremental touches
+each tuple once but re-merges n cached partials per slide (cost also
+grows with n); delta execution consumes only the arrival/expiry Z-set
+(~2·slide weighted rows) and keeps running per-group state, so its
+per-slide cost is flat in the window size — O(Δ), and ≥2× below
+incremental once n ≥ 8.
+
+The group count (~:data:`N_KEYS` live keys) is deliberately high: the
+per-group merge work is where incremental's O(n) shows, and where the
+delta aggregator's columnar state pays off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ResultTable, speedup
+from repro.core.engine import DataCellEngine
+from repro.streams.source import RateSource
+
+N_ROWS = 60_000
+SLIDE = 600
+N_KEYS = 499
+BASIC_COUNTS = [1, 2, 4, 8, 16, 32]
+
+DDL = "CREATE STREAM s (k INT, v FLOAT)"
+QUERY = ("SELECT k, count(*), sum(v), avg(v), stddev(v) FROM s "
+         "[RANGE {w} SLIDE {s}] GROUP BY k")
+
+
+def make_rows(nrows: int):
+    return [(i % N_KEYS, float((i * 31) % 997) / 7.0)
+            for i in range(nrows)]
+
+
+def run_mode(mode: str, window: int, slide: int = SLIDE,
+             nrows: int = N_ROWS):
+    engine = DataCellEngine()
+    engine.execute(DDL)
+    query = engine.register_continuous(
+        QUERY.format(w=window, s=slide), mode=mode, name="q",
+        collect_max_batches=4)
+    engine.attach_source("s", RateSource(make_rows(nrows),
+                                         rate=1_000_000))
+    engine.run_until_drained()
+    if engine.scheduler.failed:
+        raise RuntimeError(f"factory failures: {engine.scheduler.failed}")
+    factory = query.factory
+    return {
+        "mode": query.mode,
+        "fires": factory.fires,
+        "busy_ms": factory.busy_seconds * 1000,
+        "ms_per_fire": (factory.busy_seconds / factory.fires * 1000
+                        if factory.fires else 0.0),
+        "stats": factory.stats(),
+        "rows": [r.to_rows() for _t, r in engine.results("q").batches],
+    }
+
+
+def run_experiment(nrows: int = N_ROWS) -> ResultTable:
+    table = ResultTable(
+        f"E13: delta vs incremental vs re-evaluation, slide={SLIDE}, "
+        f"{N_KEYS} group keys, {nrows} tuples streamed",
+        ["n_basic", "window", "reeval_ms_per_fire", "incr_ms_per_fire",
+         "delta_ms_per_fire", "incr_over_delta", "reeval_over_delta",
+         "fires"])
+    for n in BASIC_COUNTS:
+        window = n * SLIDE
+        ree = run_mode("reeval", window, nrows=nrows)
+        inc = run_mode("incremental", window, nrows=nrows)
+        dlt = run_mode("delta", window, nrows=nrows)
+        assert ree["fires"] == inc["fires"] == dlt["fires"]
+        table.add(n, window, ree["ms_per_fire"], inc["ms_per_fire"],
+                  dlt["ms_per_fire"],
+                  speedup(inc["ms_per_fire"], dlt["ms_per_fire"]),
+                  speedup(ree["ms_per_fire"], dlt["ms_per_fire"]),
+                  ree["fires"])
+    return table
+
+
+def run_nondivisible_table(nrows: int = 6_000) -> ResultTable:
+    """Windows incremental mode cannot run (size % slide != 0):
+    delta still processes them in O(Δ)."""
+    table = ResultTable(
+        f"E13b: non-divisible windows (delta-only geometry), "
+        f"{nrows} tuples streamed",
+        ["window", "slide", "reeval_ms_per_fire", "delta_ms_per_fire",
+         "reeval_over_delta", "fires"])
+    for window, slide in ((1000, 300), (2500, 700), (4000, 900)):
+        ree = run_mode("reeval", window, slide=slide, nrows=nrows)
+        dlt = run_mode("delta", window, slide=slide, nrows=nrows)
+        assert ree["fires"] == dlt["fires"]
+        table.add(window, slide, ree["ms_per_fire"],
+                  dlt["ms_per_fire"],
+                  speedup(ree["ms_per_fire"], dlt["ms_per_fire"]),
+                  dlt["fires"])
+    return table
+
+
+def test_e13_report():
+    table = run_experiment()
+    table.show()
+    rows = table.as_dicts()
+    by_n = {r["n_basic"]: r for r in rows}
+    # the headline claim: at n >= 8 delta is at least 2x cheaper per
+    # slide than incremental's n-way partial re-merge
+    for n in (8, 16, 32):
+        assert by_n[n]["incr_over_delta"] >= 2.0, by_n[n]
+    # delta per-slide cost is flat (sublinear) in the window size
+    # while re-evaluation keeps growing with it
+    delta_growth = by_n[32]["delta_ms_per_fire"] / \
+        by_n[8]["delta_ms_per_fire"]
+    reeval_growth = by_n[32]["reeval_ms_per_fire"] / \
+        by_n[8]["reeval_ms_per_fire"]
+    assert delta_growth < 2.0, delta_growth
+    assert reeval_growth > 1.5, reeval_growth
+    assert delta_growth < reeval_growth
+    # incremental's merge cost grows with n (the gap delta closes)
+    assert by_n[32]["incr_ms_per_fire"] > \
+        2.0 * by_n[8]["incr_ms_per_fire"]
+
+
+def test_e13_nondivisible_report():
+    table = run_nondivisible_table()
+    table.show()
+    for row in table.as_dicts():
+        assert row["fires"] > 0
+
+
+def test_e13_results_identical_across_modes():
+    window, slide, nrows = 800, 100, 4_000
+    ree = run_mode("reeval", window, slide=slide, nrows=nrows)
+    inc = run_mode("incremental", window, slide=slide, nrows=nrows)
+    dlt = run_mode("delta", window, slide=slide, nrows=nrows)
+    assert ree["mode"] == "reeval" and inc["mode"] == "incremental" \
+        and dlt["mode"] == "delta"
+    assert len(ree["rows"]) == len(inc["rows"]) == len(dlt["rows"])
+
+    def norm(rows):
+        return sorted(tuple(round(v, 6) + 0.0 if isinstance(v, float)
+                            else v for v in row) for row in rows)
+
+    for a, b, c in zip(ree["rows"], inc["rows"], dlt["rows"]):
+        assert norm(a) == norm(b) == norm(c)
+
+
+def test_e13_delta_is_o_of_delta():
+    """The executor's own accounting: rows consumed per firing track
+    the slide, not the window."""
+    out = run_mode("delta", 32 * SLIDE)
+    fires = out["fires"]
+    rows_in = out["stats"]["delta_rows_in"]
+    # arrival + expiry per firing ~ 2 * slide, plus the first window
+    assert rows_in <= 2.5 * SLIDE * fires + 32 * SLIDE
+
+
+@pytest.mark.parametrize("mode", ["reeval", "incremental", "delta"])
+def test_e13_window_sliding(benchmark, mode):
+    benchmark(lambda: run_mode(mode, 4800, nrows=20_000))

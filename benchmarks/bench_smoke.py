@@ -7,10 +7,12 @@ Usage::
 Runs the experiments the stacked PRs track for regressions — E2
 (standing-query scaling + recycler on/off ablation), E8 (serial vs
 worker-pool parallel ablation), E9 (basket ingest/retention
-mechanics), E10n (network-edge loopback throughput) and E11c
-(chained-network recycling, eviction-policy ablation) — and writes
+mechanics), E10n (network-edge loopback throughput), E11c
+(chained-network recycling, eviction-policy ablation) and E13
+(Z-set delta execution vs incremental vs re-evaluation) — and writes
 ``BENCH_E2.json``, ``BENCH_E8.json``, ``BENCH_E9.json``,
-``BENCH_E10.json`` and ``BENCH_E11.json`` to the repo root (or
+``BENCH_E10.json``, ``BENCH_E11.json`` and ``BENCH_E13.json`` to the
+repo root (or
 ``--outdir``). CI runs ``--quick`` so drift is caught without a full
 experiment sweep; ``repro.bench.reporting.compare_runs`` diffs two
 archives.
@@ -27,7 +29,7 @@ sys.path.insert(0, os.path.dirname(os.path.dirname(
 
 from benchmarks import (bench_e2_multiquery, bench_e8_scheduler,
                         bench_e9_baskets, bench_e10_net,
-                        bench_e11_chain)
+                        bench_e11_chain, bench_e13_delta)
 from repro.bench.reporting import save_json
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -72,6 +74,12 @@ def run_e11(quick: bool):
                                            repeats=repeats)]
 
 
+def run_e13(quick: bool):
+    nrows = 20_000 if quick else bench_e13_delta.N_ROWS
+    return [bench_e13_delta.run_experiment(nrows=nrows),
+            bench_e13_delta.run_nondivisible_table()]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -84,7 +92,8 @@ def main(argv=None) -> int:
                          ("BENCH_E8.json", run_e8),
                          ("BENCH_E9.json", run_e9),
                          ("BENCH_E10.json", run_e10),
-                         ("BENCH_E11.json", run_e11)):
+                         ("BENCH_E11.json", run_e11),
+                         ("BENCH_E13.json", run_e13)):
         tables = runner(args.quick)
         for table in tables:
             print()

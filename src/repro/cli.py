@@ -148,10 +148,10 @@ class DataCellShell:
         self.done = True
 
     def _cmd_register(self, arg: str) -> None:
-        """.register name [reeval|incremental|auto] SELECT ...;"""
+        """.register name [reeval|incremental|delta|auto] SELECT ...;"""
         tokens = arg.split(None, 2)
         if len(tokens) >= 2 and tokens[1].lower() in (
-                "reeval", "incremental", "auto"):
+                "reeval", "incremental", "delta", "auto"):
             name, mode, sql = tokens[0], tokens[1].lower(), tokens[2]
         elif len(tokens) >= 2:
             name, mode = tokens[0], "auto"

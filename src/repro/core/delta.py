@@ -1,0 +1,798 @@
+"""Z-set delta execution: O(Δ) sliding windows with retractions.
+
+Incremental mode (:mod:`repro.core.incremental`) re-merges every cached
+basic-window partial on each slide — O(window/slide) merge work per
+firing. This module generalizes it to DBSP-style **Z-sets**: a window
+change is a relation plus an integer weight column (+1 insert, −1
+retraction, ±k after consolidation), and each operator is lifted to a
+*delta form* that holds running state and consumes only the change:
+
+* ``delta_select`` / ``delta_project`` — stateless; the per-slice
+  pipeline runs unmodified over the delta rows and weights pass through;
+* ``delta_group_aggregate`` — :class:`DeltaAggregator` keeps per-group
+  running states merged by signed weight (count/sum/avg and the
+  (n, Σx, Σx²) moments of stddev/variance cancel exactly; min/max keep a
+  per-group multiset bag and rescan it only when the current extreme is
+  retracted);
+* ``delta_join`` — per-side chunked state with a hash index
+  (:class:`_JoinSideState`); a firing computes ΔL⋈R_old + L_new⋈ΔR,
+  which covers the Δ⋈Δ cross term exactly once.
+
+Retractions come from the window itself: :meth:`WindowState.
+delta_bounds` names the oid range that left the window, and because the
+basket only releases tuples *after* the firing that retires them, the
+expiry slice is still readable — re-running the deterministic per-slice
+pipeline over it reproduces the exact rows to retract. No shadow copy of
+window contents is kept for aggregates; chunk stores exist only where
+the emission itself is the window content (projection-only queries and
+join sides).
+
+Unlike incremental mode, delta execution does not need ``size % slide
+== 0``: expiry ranges are arbitrary oid spans, so windows like
+``[RANGE 10 SLIDE 3]`` run in O(Δ) too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.mal import kernel
+from repro.mal.bat import BAT
+from repro.mal.relation import Relation
+from repro.sql.plan import AggregateNode, PlanNode
+from repro.storage import types as dt
+from repro.core.incremental import (IncrementalAnalysis, PartialAggregator,
+                                    apply_upper, run_pipeline)
+
+Reader = Callable[[str, int, int], Relation]
+
+
+class StreamDelta:
+    """One stream's change for one firing: oid ranges plus split hints.
+
+    ``window`` — the full [lo, hi) range the firing represents;
+    ``arrive`` — rows entering the window (weight +1);
+    ``expire`` — rows leaving it (weight −1);
+    ``splits`` — oids at which future window los will fall inside the
+    arrival range; chunked state splits there so later expiries align
+    with chunk boundaries instead of forcing straddle recomputes.
+    """
+
+    __slots__ = ("window", "arrive", "expire", "splits")
+
+    def __init__(self, window: Tuple[int, int], arrive: Tuple[int, int],
+                 expire: Tuple[int, int], splits: Sequence[int] = ()):
+        self.window = window
+        self.arrive = arrive
+        self.expire = expire
+        self.splits = splits
+
+
+def _split_ranges(span: Tuple[int, int],
+                  splits: Sequence[int]) -> List[Tuple[int, int]]:
+    lo, hi = span
+    if hi <= lo:
+        return []
+    cuts = [lo] + [s for s in splits if lo < s < hi] + [hi]
+    return list(zip(cuts, cuts[1:]))
+
+
+# ---------------------------------------------------------------------
+# delta_group_aggregate
+# ---------------------------------------------------------------------
+
+class _ExtremeBag:
+    """Signed multiset of one group's min/max candidates.
+
+    Inserts update the cached extreme in O(1). Retracting the current
+    extreme marks the bag dirty; the next :meth:`current` rescans the
+    surviving values — the fallback the exact-cancellation states don't
+    need. Weights may transiently dip negative inside one firing (the
+    join's +1/−1 cross terms interleave); the dirty flag still fires
+    when such a value returns to zero, so the cache never goes stale.
+    """
+
+    __slots__ = ("take_min", "counts", "extreme", "dirty", "_rescans")
+
+    def __init__(self, take_min: bool, rescan_counter: List[int]):
+        self.take_min = take_min
+        self.counts: Dict[Any, int] = {}
+        self.extreme: Any = None
+        self.dirty = False
+        self._rescans = rescan_counter
+
+    def add(self, value: Any, weight: int) -> None:
+        c = self.counts.get(value, 0) + weight
+        if c:
+            self.counts[value] = c
+            if not self.dirty and c > 0 and (
+                    self.extreme is None
+                    or (value < self.extreme if self.take_min
+                        else value > self.extreme)):
+                self.extreme = value
+        else:
+            self.counts.pop(value, None)
+            if value == self.extreme:
+                self.dirty = True
+
+    def current(self) -> Any:
+        if self.dirty:
+            live = [v for v, c in self.counts.items() if c > 0]
+            if live:
+                self.extreme = min(live) if self.take_min else max(live)
+            else:
+                self.extreme = None
+            self.dirty = False
+            self._rescans[0] += 1
+        return self.extreme
+
+
+class DeltaAggregator:
+    """Per-group running aggregate states updated by signed Z-set merges.
+
+    The state is columnar, mirroring the engine's BAT layout: one slot
+    per live group across numpy arrays — presence (the group's live
+    multiplicity, Σ weights) plus per-aggregate columns (count, sum
+    pairs, moment triples). A firing's merge is then a handful of
+    fancy-indexed ``+=`` over the touched slots instead of a Python
+    loop over per-group tuples; only min/max bags stay per-group
+    objects. A group is freed the moment its presence reaches zero, so
+    finalization sees exactly the groups a from-scratch evaluation
+    would (freeing also resets any float residue the cancelled weights
+    left behind). Finalization reuses :class:`PartialAggregator`'s
+    state format and nil/empty semantics.
+    """
+
+    _GROW = 256
+
+    def __init__(self, node: AggregateNode):
+        self.node = node
+        self._final = PartialAggregator(node)
+        self._rescans = [0]
+        self._key_slots: Dict[Tuple, int] = {}
+        self._free: List[int] = []
+        self._high = 0            # high-water slot
+        self._cap = 0
+        self._presence = np.empty(0, dtype=np.int64)
+        self._cols: List[Any] = [self._empty_col(agg.op)
+                                 for agg in node.aggs]
+
+    @property
+    def rescans(self) -> int:
+        return self._rescans[0]
+
+    def group_count(self) -> int:
+        return len(self._key_slots)
+
+    def state_nbytes(self) -> int:
+        total = self._presence.nbytes
+        for agg, col in zip(self.node.aggs, self._cols):
+            if agg.op in ("min", "max"):
+                total += sum(len(bag.counts) * 64
+                             for bag in col if bag is not None)
+            elif agg.op == "count":
+                total += col.nbytes
+            else:
+                total += sum(part.nbytes for part in col)
+        return total
+
+    @staticmethod
+    def _empty_col(op: str) -> Any:
+        if op == "count":
+            return np.empty(0, dtype=np.int64)
+        if op in ("sum", "avg"):
+            return [np.empty(0, dtype=np.float64),
+                    np.empty(0, dtype=np.int64)]
+        if op in ("stddev", "variance"):
+            return [np.empty(0, dtype=np.float64) for _ in range(3)]
+        return []  # min/max: one _ExtremeBag per slot
+
+    def _grow(self, need: int) -> None:
+        cap = max(self._cap * 2, self._GROW)
+        while cap < need:
+            cap *= 2
+        pad = cap - self._cap
+        self._presence = np.concatenate(
+            [self._presence, np.zeros(pad, dtype=np.int64)])
+        for i, agg in enumerate(self.node.aggs):
+            col = self._cols[i]
+            if agg.op in ("min", "max"):
+                col.extend(None for _ in range(pad))
+            elif agg.op == "count":
+                self._cols[i] = np.concatenate(
+                    [col, np.zeros(pad, dtype=np.int64)])
+            else:
+                self._cols[i] = [np.concatenate(
+                    [part, np.zeros(pad, dtype=part.dtype)])
+                    for part in col]
+        self._cap = cap
+
+    def _slot(self, key: Tuple) -> int:
+        slot = self._key_slots.get(key)
+        if slot is not None:
+            return slot
+        if self._free:
+            slot = self._free.pop()
+        else:
+            if self._high >= self._cap:
+                self._grow(self._high + 1)
+            slot = self._high
+            self._high += 1
+        self._key_slots[key] = slot
+        # a recycled slot may hold a dead group's residue: reset it
+        self._presence[slot] = 0
+        for agg, col in zip(self.node.aggs, self._cols):
+            if agg.op in ("min", "max"):
+                col[slot] = _ExtremeBag(agg.op == "min", self._rescans)
+            elif agg.op == "count":
+                col[slot] = 0
+            else:
+                for part in col:
+                    part[slot] = 0
+        return slot
+
+    def apply(self, rel: Relation, weights: np.ndarray) -> None:
+        """Merge one weighted relation into the running states."""
+        node = self.node
+        n = rel.row_count
+        if n == 0:
+            return
+        w = np.asarray(weights, dtype=np.int64)
+        if node.group_exprs:
+            gids: Optional[np.ndarray] = None
+            reps = None
+            ngroups = 0
+            group_bats = [e.evaluate(rel) for e in node.group_exprs]
+            for bat in group_bats:
+                gids, reps, ngroups = kernel.subgroup(bat, gids)
+            keys = list(zip(*(b.take(reps).tolist()
+                              for b in group_bats))) if ngroups else []
+        else:
+            gids = np.zeros(n, dtype=np.int64)
+            ngroups = 1
+            keys = [()]
+        presence = kernel.weighted_count(gids, w, ngroups)
+        deltas = [self._delta(agg, rel, gids, w, ngroups)
+                  for agg in node.aggs]
+        # local group g -> global slot; slots are unique within one
+        # apply, so the fancy-indexed += below never collide
+        slots = np.fromiter((self._slot(key) for key in keys),
+                            dtype=np.int64, count=ngroups)
+        self._presence[slots] += presence
+        for i, agg in enumerate(node.aggs):
+            op = agg.op
+            d = deltas[i]
+            col = self._cols[i]
+            if op == "count":
+                col[slots] += d
+            elif op in ("sum", "avg"):
+                col[0][slots] += d[0]
+                col[1][slots] += d[1]
+            elif op in ("stddev", "variance"):
+                col[0][slots] += d[0]
+                col[1][slots] += d[1]
+                col[2][slots] += d[2]
+            else:
+                for g, updates in d.items():
+                    bag = col[slots[g]]
+                    for v, wv in updates:
+                        bag.add(v, wv)
+        if node.group_exprs:
+            for g in np.nonzero(self._presence[slots] == 0)[0].tolist():
+                slot = int(slots[g])
+                del self._key_slots[keys[g]]
+                self._free.append(slot)
+
+    @staticmethod
+    def _delta(agg, rel: Relation, gids: np.ndarray, w: np.ndarray,
+               ngroups: int):
+        """Per-group signed contribution of one weighted relation."""
+        if agg.op == "count" and agg.arg is None:
+            return kernel.weighted_count(gids, w, ngroups)
+        arg = agg.arg.evaluate(rel)
+        if agg.op == "count":
+            valid = ~arg.nil_mask()
+            return kernel.weighted_count(gids[valid], w[valid], ngroups)
+        if agg.op in ("sum", "avg"):
+            return kernel.weighted_sum(arg, gids, w, ngroups)
+        if agg.op in ("stddev", "variance"):
+            return kernel.weighted_moments(arg, gids, w, ngroups)
+        # min / max: per-group (value, weight) multiset updates
+        valid = ~arg.nil_mask()
+        vals = arg.tolist()
+        wl = w.tolist()
+        updates: Dict[int, List[Tuple[Any, int]]] = {}
+        for i in np.nonzero(valid)[0].tolist():
+            updates.setdefault(int(gids[i]), []).append((vals[i], wl[i]))
+        return updates
+
+    def finalize(self) -> Relation:
+        """Window result straight from the columnar state.
+
+        Final values are computed as array expressions over the live
+        slots with storage-form nils (INT_NIL / NaN), matching
+        :meth:`PartialAggregator._final_value` per element; only
+        min/max bags and the group-key columns go through Python.
+        """
+        node = self.node
+        if node.group_exprs:
+            items = [(key, slot)
+                     for key, slot in self._key_slots.items()
+                     if self._presence[slot] > 0]
+            if not items:
+                return Relation.empty(node.schema)
+            keys = [key for key, _slot in items]
+            slots = np.fromiter((slot for _key, slot in items),
+                                dtype=np.int64, count=len(items))
+        else:
+            if not self._key_slots:
+                # canonical empty-window scalar row (count 0, nils)
+                return self._final.finalize({})
+            keys = [()]
+            slots = np.fromiter(self._key_slots.values(),
+                                dtype=np.int64, count=1)
+        out = Relation()
+        for i, (name, expr) in enumerate(zip(node.group_names,
+                                             node.group_exprs)):
+            out.add(name, BAT.from_values(expr.dtype,
+                                          [k[i] for k in keys],
+                                          coerce=True))
+        for name, agg, col in zip(node.agg_names, node.aggs,
+                                  self._cols):
+            out.add(name, self._final_col(agg, col, slots))
+        return out
+
+    def _final_col(self, agg, col, slots: np.ndarray) -> BAT:
+        op = agg.op
+        if op == "count":
+            return BAT.from_array(agg.dtype, col[slots])
+        if op in ("min", "max"):
+            return BAT.from_values(
+                agg.dtype, [col[s].current() for s in slots.tolist()],
+                coerce=True)
+        if op in ("sum", "avg"):
+            sums = col[0][slots]
+            counts = col[1][slots]
+            empty = counts == 0
+            if op == "sum" and agg.dtype is dt.INT:
+                # weighted int sums live in float64 but are exactly
+                # integral; store them back as int
+                vals = np.rint(sums).astype(np.int64)
+                vals[empty] = dt.INT_NIL
+                return BAT.from_array(agg.dtype, vals)
+            vals = sums if op == "sum" else \
+                sums / np.maximum(counts, 1)
+            vals = vals.astype(np.float64)
+            vals[empty] = dt.FLOAT_NIL
+            return BAT.from_array(agg.dtype, vals)
+        # stddev / variance from the (n, Σx, Σx²) moment columns
+        n = col[0][slots]
+        s = col[1][slots]
+        ss = col[2][slots]
+        denom = np.maximum(n, 2.0)
+        var = (ss - s * s / denom) / (denom - 1.0)
+        np.maximum(var, 0.0, out=var)  # clamp rounding residue
+        if op == "stddev":
+            var = np.sqrt(var)
+        var[n < 2.0] = dt.FLOAT_NIL
+        return BAT.from_array(agg.dtype, var)
+
+
+# ---------------------------------------------------------------------
+# chunked window-content state (projection-only emission, join sides)
+# ---------------------------------------------------------------------
+
+class _Chunk:
+    __slots__ = ("lo", "hi", "rel", "rows", "keys")
+
+    def __init__(self, lo: int, hi: int, rel: Relation):
+        self.lo = lo
+        self.hi = hi
+        self.rel = rel
+        self.rows: Optional[List[tuple]] = None
+        self.keys: Optional[List[Any]] = None
+
+
+class _ChunkStore:
+    """Pipeline outputs of the live window, keyed by input oid range.
+
+    ``advance_floor`` drops chunks wholly below the new window lo and
+    replaces a straddling head chunk by recomputing its surviving part
+    (the basket still holds those rows). With split hints aligned to
+    slide boundaries, straddles never happen for tuple windows.
+    """
+
+    def __init__(self):
+        self.chunks: List[_Chunk] = []
+
+    def append(self, lo: int, hi: int, rel: Relation) -> None:
+        self.chunks.append(_Chunk(lo, hi, rel))
+
+    def advance_floor(self, floor: int,
+                      recompute: Callable[[int, int], Relation]
+                      ) -> List[Relation]:
+        dropped: List[Relation] = []
+        while self.chunks and self.chunks[0].hi <= floor:
+            dropped.append(self.chunks.pop(0).rel)
+        if self.chunks and self.chunks[0].lo < floor:
+            head = self.chunks.pop(0)
+            dropped.append(recompute(head.lo, floor))
+            self.chunks.insert(
+                0, _Chunk(floor, head.hi, recompute(floor, head.hi)))
+        return dropped
+
+    def concat(self, schema) -> Relation:
+        live = [c.rel for c in self.chunks if c.rel.row_count]
+        if not live:
+            return Relation.empty(schema)
+        out = live[0]
+        for piece in live[1:]:
+            out = out.concat(piece)
+        return out
+
+    def row_total(self) -> int:
+        return sum(c.rel.row_count for c in self.chunks)
+
+    def nbytes(self) -> int:
+        from repro.core.recycler import payload_nbytes
+        return sum(payload_nbytes(c.rel) for c in self.chunks)
+
+
+class _JoinSideState:
+    """One join side's live pipeline output plus a persistent hash index.
+
+    The index maps join-key value → {chunk id → row positions}, so a
+    delta from the other side probes only matching rows instead of
+    re-joining windows. ``key_expr`` of None (cross product) disables
+    the index; probes then return every live row.
+    """
+
+    def __init__(self, key_expr):
+        self.key_expr = key_expr
+        self.chunks: Dict[int, _Chunk] = {}
+        self._next_cid = 0
+        self.index: Dict[Any, Dict[int, List[int]]] = {}
+
+    def append(self, lo: int, hi: int, rel: Relation) -> None:
+        cid = self._next_cid
+        self._next_cid += 1
+        ch = _Chunk(lo, hi, rel)
+        ch.rows = rel.to_rows()
+        if self.key_expr is not None and rel.row_count:
+            ch.keys = self.key_expr.evaluate(rel).tolist()
+        else:
+            ch.keys = []
+        self.chunks[cid] = ch
+        for pos, k in enumerate(ch.keys):
+            if k is None:
+                continue
+            self.index.setdefault(k, {}).setdefault(cid, []).append(pos)
+
+    def _remove(self, cid: int) -> _Chunk:
+        ch = self.chunks.pop(cid)
+        for k in set(ch.keys or ()):
+            if k is None:
+                continue
+            postings = self.index.get(k)
+            if postings is not None:
+                postings.pop(cid, None)
+                if not postings:
+                    del self.index[k]
+        return ch
+
+    def advance_floor(self, floor: int,
+                      recompute: Callable[[int, int], Relation]
+                      ) -> List[Relation]:
+        dropped: List[Relation] = []
+        straddle = None
+        for cid in list(self.chunks):
+            ch = self.chunks[cid]
+            if ch.hi <= floor:
+                dropped.append(self._remove(cid).rel)
+            elif ch.lo < floor:
+                straddle = cid
+        if straddle is not None:
+            ch = self._remove(straddle)
+            dropped.append(recompute(ch.lo, floor))
+            self.append(floor, ch.hi, recompute(floor, ch.hi))
+        return dropped
+
+    def probe(self, key) -> List[tuple]:
+        postings = self.index.get(key)
+        if not postings:
+            return []
+        out: List[tuple] = []
+        for cid, positions in postings.items():
+            rows = self.chunks[cid].rows
+            out.extend(rows[p] for p in positions)
+        return out
+
+    def all_rows(self) -> List[tuple]:
+        out: List[tuple] = []
+        for ch in self.chunks.values():
+            out.extend(ch.rows or ())
+        return out
+
+    def row_total(self) -> int:
+        return sum(c.rel.row_count for c in self.chunks.values())
+
+    def nbytes(self) -> int:
+        from repro.core.recycler import payload_nbytes
+        total = sum(payload_nbytes(c.rel) for c in self.chunks.values())
+        return total * 2 + len(self.index) * 64  # row cache + index
+
+
+class _OutputZSet:
+    """Consolidated output weights for non-aggregate join emission."""
+
+    def __init__(self, schema):
+        self.schema = schema
+        self.weights: Dict[tuple, int] = {}
+
+    def apply(self, rel: Relation, weights: np.ndarray) -> None:
+        for row, w in zip(rel.to_rows(), weights.tolist()):
+            nw = self.weights.get(row, 0) + w
+            if nw:
+                self.weights[row] = nw
+            else:
+                self.weights.pop(row, None)
+
+    def materialize(self) -> Relation:
+        rows: List[tuple] = []
+        for row, w in self.weights.items():
+            if w < 0:
+                raise StreamError(
+                    "negative multiplicity in output z-set "
+                    "(delta bookkeeping bug)")
+            rows.extend([row] * w)
+        if not rows:
+            return Relation.empty(self.schema)
+        return Relation.from_rows(self.schema, rows)
+
+    def row_total(self) -> int:
+        return sum(w for w in self.weights.values() if w > 0)
+
+    def nbytes(self) -> int:
+        return len(self.weights) * 128
+
+
+# ---------------------------------------------------------------------
+# the delta executor
+# ---------------------------------------------------------------------
+
+class DeltaExecutor:
+    """Holds operator state across firings and consumes window deltas.
+
+    Shapes follow :class:`IncrementalAnalysis`: a single windowed stream
+    (optionally aggregated) or an equi-join of two windowed streams.
+    Per firing cost is proportional to the delta — arrival plus expiry
+    rows — not to the window.
+    """
+
+    def __init__(self, analysis: IncrementalAnalysis, catalog):
+        self.analysis = analysis
+        self.catalog = catalog
+        self.aggregator = DeltaAggregator(analysis.agg) \
+            if analysis.agg is not None else None
+        self._store: Optional[_ChunkStore] = None
+        self._sides: Optional[Dict[str, _JoinSideState]] = None
+        self._out: Optional[_OutputZSet] = None
+        if analysis.kind == "single":
+            if self.aggregator is None:
+                self._store = _ChunkStore()
+        else:
+            join = analysis.join_node
+            self._sides = {
+                analysis.left_stream: _JoinSideState(join.left_key),
+                analysis.right_stream: _JoinSideState(join.right_key),
+            }
+            if self.aggregator is None:
+                self._out = _OutputZSet(join.schema)
+        self.delta_rows_in = 0
+        self.delta_rows_out = 0
+        self.consolidations = 0
+
+    # -- firing -----------------------------------------------------------
+
+    def fire(self, deltas: Dict[str, StreamDelta],
+             reader: Reader) -> Relation:
+        if self.analysis.kind == "single":
+            rel = self._fire_single(deltas, reader)
+        else:
+            rel = self._fire_join2(deltas, reader)
+        return apply_upper(rel, self.analysis.upper)
+
+    def _pipe(self, pipeline: PlanNode, stream: str, reader: Reader,
+              lo: int, hi: int) -> Relation:
+        slice_rel = reader(stream, lo, hi)
+        self.delta_rows_in += slice_rel.row_count
+        return run_pipeline(self.catalog, pipeline, stream, slice_rel)
+
+    def _fire_single(self, deltas: Dict[str, StreamDelta],
+                     reader: Reader) -> Relation:
+        a = self.analysis
+        stream = a.stream_scans[0].stream_name
+        d = deltas[stream]
+
+        def pipe(lo: int, hi: int) -> Relation:
+            return self._pipe(a.pipeline, stream, reader, lo, hi)
+
+        if self.aggregator is not None:
+            alo, ahi = d.arrive
+            if ahi > alo:
+                out = pipe(alo, ahi)
+                if out.row_count:
+                    self.aggregator.apply(
+                        out, np.ones(out.row_count, dtype=np.int64))
+                    self.delta_rows_out += out.row_count
+            elo, ehi = d.expire
+            if ehi > elo:
+                # the expiry slice is still basket-live: re-running the
+                # deterministic pipeline over it yields the exact
+                # retraction payload, no shadow copy needed
+                out = pipe(elo, ehi)
+                if out.row_count:
+                    self.aggregator.apply(
+                        out, np.full(out.row_count, -1, dtype=np.int64))
+                    self.delta_rows_out += out.row_count
+            return self.aggregator.finalize()
+        store = self._store
+        store.advance_floor(d.window[0], pipe)
+        for slo, shi in _split_ranges(d.arrive, d.splits):
+            out = pipe(slo, shi)
+            store.append(slo, shi, out)
+            self.delta_rows_out += out.row_count
+        return store.concat(a.pipeline.schema)
+
+    def _fire_join2(self, deltas: Dict[str, StreamDelta],
+                    reader: Reader) -> Relation:
+        a = self.analysis
+        ls, rs = a.left_stream, a.right_stream
+        ld, rd = deltas[ls], deltas[rs]
+        lside, rside = self._sides[ls], self._sides[rs]
+
+        def lpipe(lo: int, hi: int) -> Relation:
+            return self._pipe(a.left_pipeline, ls, reader, lo, hi)
+
+        def rpipe(lo: int, hi: int) -> Relation:
+            return self._pipe(a.right_pipeline, rs, reader, lo, hi)
+
+        # ΔL applied to the left state first, so the second product
+        # probes L_new: ΔOut = ΔL⋈R_old + L_new⋈ΔR covers the Δ⋈Δ
+        # cross term exactly once (bilinear chain rule).
+        l_delta: List[Tuple[Relation, int]] = [
+            (rel, -1) for rel in lside.advance_floor(ld.window[0], lpipe)]
+        for slo, shi in _split_ranges(ld.arrive, ld.splits):
+            out = lpipe(slo, shi)
+            lside.append(slo, shi, out)
+            l_delta.append((out, +1))
+        rows: List[tuple] = []
+        weights: List[int] = []
+        for rel, w in l_delta:
+            self._probe_into(rel, w, a.join_node.left_key, rside,
+                             True, rows, weights)
+        r_delta: List[Tuple[Relation, int]] = [
+            (rel, -1) for rel in rside.advance_floor(rd.window[0], rpipe)]
+        for slo, shi in _split_ranges(rd.arrive, rd.splits):
+            out = rpipe(slo, shi)
+            rside.append(slo, shi, out)
+            r_delta.append((out, +1))
+        for rel, w in r_delta:
+            self._probe_into(rel, w, a.join_node.right_key, lside,
+                             False, rows, weights)
+
+        if rows:
+            zrel = Relation.from_rows(a.join_node.schema, rows)
+            zw = np.asarray(weights, dtype=np.int64)
+            if a.join_node.residual is not None:
+                mask = a.join_node.residual.evaluate(zrel)
+                keep = kernel.mask_select(mask)
+                zrel = zrel.take(keep)
+                zw = zw[np.asarray(keep)]
+            bats = [b for _n, b in zrel.columns()]
+            pos, cw = kernel.zset_consolidate(bats, zw)
+            if len(pos) < zrel.row_count:
+                self.consolidations += 1
+            zrel = zrel.take(pos)
+            zw = cw
+        else:
+            zrel = Relation.empty(a.join_node.schema)
+            zw = np.empty(0, dtype=np.int64)
+        self.delta_rows_out += zrel.row_count
+        if self.aggregator is not None:
+            if zrel.row_count:
+                self.aggregator.apply(zrel, zw)
+            return self.aggregator.finalize()
+        if zrel.row_count:
+            self._out.apply(zrel, zw)
+        return self._out.materialize()
+
+    @staticmethod
+    def _probe_into(rel: Relation, weight: int, key_expr,
+                    other: _JoinSideState, delta_is_left: bool,
+                    rows: List[tuple], weights: List[int]) -> None:
+        if rel.row_count == 0:
+            return
+        if key_expr is None:
+            matches_for = None
+            all_other = other.all_rows()
+        else:
+            matches_for = key_expr.evaluate(rel).tolist()
+            all_other = None
+        drows = rel.to_rows()
+        for i, dr in enumerate(drows):
+            if matches_for is None:
+                matches = all_other
+            else:
+                k = matches_for[i]
+                if k is None:
+                    continue  # nil join keys never match
+                matches = other.probe(k)
+            if not matches:
+                continue
+            if delta_is_left:
+                rows.extend(dr + m for m in matches)
+            else:
+                rows.extend(m + dr for m in matches)
+            weights.extend([weight] * len(matches))
+
+    # -- monitoring ---------------------------------------------------------
+
+    def state_rows(self) -> int:
+        total = 0
+        if self.aggregator is not None:
+            total += self.aggregator.group_count()
+        if self._store is not None:
+            total += self._store.row_total()
+        if self._sides is not None:
+            total += sum(s.row_total() for s in self._sides.values())
+        if self._out is not None:
+            total += len(self._out.weights)
+        return total
+
+    def state_nbytes(self) -> int:
+        total = 0
+        if self.aggregator is not None:
+            total += self.aggregator.state_nbytes()
+        if self._store is not None:
+            total += self._store.nbytes()
+        if self._sides is not None:
+            total += sum(s.nbytes() for s in self._sides.values())
+        if self._out is not None:
+            total += self._out.nbytes()
+        return total
+
+    def delta_stats(self) -> Dict[str, int]:
+        return {
+            "delta_rows_in": self.delta_rows_in,
+            "delta_rows_out": self.delta_rows_out,
+            "delta_consolidations": self.consolidations,
+            "delta_rescans": self.aggregator.rescans
+            if self.aggregator is not None else 0,
+            "delta_state_rows": self.state_rows(),
+            "delta_state_bytes": self.state_nbytes(),
+        }
+
+    def describe_state(self) -> List[str]:
+        lines: List[str] = []
+        if self.aggregator is not None:
+            lines.append(
+                f"group states: {self.aggregator.group_count()} "
+                f"(~{self.aggregator.state_nbytes()} bytes, "
+                f"{self.aggregator.rescans} extreme rescans)")
+        if self._store is not None:
+            lines.append(f"window chunks: {len(self._store.chunks)} "
+                         f"({self._store.row_total()} rows)")
+        if self._sides is not None:
+            for name, side in self._sides.items():
+                lines.append(
+                    f"join side {name}: {len(side.chunks)} chunks, "
+                    f"{side.row_total()} rows, "
+                    f"{len(side.index)} indexed keys")
+        if self._out is not None:
+            lines.append(
+                f"output z-set: {len(self._out.weights)} distinct rows")
+        return lines

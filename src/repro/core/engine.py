@@ -24,7 +24,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 from repro.core.basket import Basket
 from repro.core.clock import Clock, SimulatedClock
 from repro.core.emitter import CallbackSink, CollectingSink, Emitter, Sink
-from repro.core.factory import Factory, IncrementalFactory, ReevalFactory
+from repro.core.factory import (DeltaFactory, Factory, IncrementalFactory,
+                                ReevalFactory)
 from repro.core.incremental import (IncrementalAnalysis,
                                     UnsupportedIncremental,
                                     analyze_incremental)
@@ -36,6 +37,7 @@ from repro.core.scheduler import PetriNetScheduler
 from repro.core.windows import BasicWindowTracker, WindowSpec, WindowState
 from repro.errors import BindError, CatalogError, StreamError
 from repro.mal.compiler import compile_plan
+from repro.mal.fingerprint import program_fingerprint
 from repro.mal.interpreter import MALContext, MALInterpreter
 from repro.mal.program import MALProgram
 from repro.mal.relation import Relation
@@ -86,6 +88,7 @@ class DataCellEngine:
                  recycler_budget_bytes: int = DEFAULT_BUDGET_BYTES,
                  recycler_verify: bool = False,
                  recycler_policy: str = "benefit",
+                 recycler_min_cost_ms: float = 0.0,
                  parallel_workers: Optional[int] = None):
         """``parallel_workers`` sizes the scheduler's firing pool:
         ``None``/``1`` (default) keeps the serial cascade — the
@@ -97,13 +100,19 @@ class DataCellEngine:
         ``recycler_policy`` selects the cache eviction policy:
         ``"benefit"`` (default) ranks entries by benefit density
         (recompute cost x reuse frequency per byte, the MonetDB
-        Recycler heuristic), ``"lru"`` is pure recency."""
+        Recycler heuristic), ``"lru"`` is pure recency.
+
+        ``recycler_min_cost_ms`` is the cache admission floor: entries
+        whose recorded recompute cost is below it are never cached
+        (cheap intermediates cost more in budget pressure than their
+        reuse saves)."""
         self.clock = clock if clock is not None else SimulatedClock()
         self.catalog = Catalog()
         self.recycler = Recycler(recycler_budget_bytes,
                                  enabled=recycler_enabled,
                                  verify=recycler_verify,
-                                 policy=recycler_policy)
+                                 policy=recycler_policy,
+                                 min_cost_ms=recycler_min_cost_ms)
         self.scheduler = PetriNetScheduler(
             self.clock,
             recycler=self.recycler if recycler_enabled else None,
@@ -376,7 +385,10 @@ class DataCellEngine:
         ``mode``: ``"reeval"`` forces full re-evaluation per firing;
         ``"incremental"`` forces basic-window processing (raises
         :class:`UnsupportedIncremental` when the plan shape does not
-        allow it); ``"auto"`` picks incremental for sliding windows when
+        allow it); ``"delta"`` requests Z-set delta execution — O(Δ)
+        work per slide with weighted retraction state — and silently
+        falls back through incremental to reeval for unsupported
+        shapes; ``"auto"`` picks incremental for sliding windows when
         possible.
 
         ``output_stream`` materializes the query's results as a new
@@ -448,9 +460,10 @@ class DataCellEngine:
             name, plan, continuous_program, analysis, resolved_mode,
             specs, baskets, emitter, min_batch, max_delay_ms,
             cache_enabled)
-        if out_sink is not None and isinstance(factory, ReevalFactory):
+        if out_sink is not None:
             # chained networks: let the output basket stamp each
             # appended range with the producing plan's emit fingerprint
+            # (factories without stamps return None and append plain)
             out_sink.bind_producer(factory)
         self.scheduler.add_factory(factory)
 
@@ -468,16 +481,33 @@ class DataCellEngine:
 
     def _resolve_mode(self, plan: PlanNode,
                       specs: Dict[str, WindowSpec], mode: str):
-        if mode not in ("auto", "reeval", "incremental"):
+        """Pick the execution mode for one continuous query.
+
+        ``"delta"`` requests Z-set delta execution and silently walks
+        the fallback ladder delta → incremental → reeval when the plan
+        shape is unsupported (both delta and incremental need
+        :func:`analyze_incremental` to succeed; incremental additionally
+        needs ``size % slide == 0``, which delta does not).
+        """
+        if mode not in ("auto", "reeval", "incremental", "delta"):
             raise StreamError(f"unknown execution mode {mode!r}")
         if mode == "reeval":
             return None, "reeval"
         from repro.errors import WindowError
         try:
             analysis = analyze_incremental(plan)
+        except UnsupportedIncremental:
+            if mode == "incremental":
+                raise
+            # delta/auto ladder bottoms out at reeval: the shapes delta
+            # supports are exactly the analyzable ones
+            return None, "reeval"
+        if mode == "delta":
+            return analysis, "delta"
+        try:
             for stream in specs:
                 specs[stream].basic_window_count  # divisibility check
-        except (UnsupportedIncremental, WindowError) as exc:
+        except WindowError as exc:
             if mode == "incremental":
                 raise UnsupportedIncremental(str(exc)) from exc
             return None, "reeval"
@@ -490,6 +520,11 @@ class DataCellEngine:
                        mode, specs, baskets, emitter, min_batch,
                        max_delay_ms, cache_enabled) -> Factory:
         now = self.now()
+        # content identity of this plan's emissions; shared by every
+        # mode so chained consumers recognise equal payloads regardless
+        # of how the producer executed
+        plan_fp = program_fingerprint(continuous_program) \
+            if self.recycler.enabled else None
         if mode == "incremental":
             trackers = {}
             for stream, basket in baskets.items():
@@ -498,12 +533,15 @@ class DataCellEngine:
                     specs[stream], basket, sub, anchor_time=now)
             return IncrementalFactory(name, analysis, trackers, baskets,
                                       self.catalog, emitter,
-                                      cache_enabled)
+                                      cache_enabled, plan_fp=plan_fp)
         window_states = {}
         for stream, basket in baskets.items():
             sub = basket.subscribe(name)
             window_states[stream] = WindowState(specs[stream], basket,
                                                 sub, anchor_time=now)
+        if mode == "delta":
+            return DeltaFactory(name, analysis, window_states, baskets,
+                                self.catalog, emitter, plan_fp=plan_fp)
         return ReevalFactory(name, continuous_program, plan,
                              window_states, baskets, self.catalog,
                              emitter, min_batch, max_delay_ms,

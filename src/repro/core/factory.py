@@ -290,13 +290,19 @@ class IncrementalFactory(Factory):
     def __init__(self, name: str, analysis: IncrementalAnalysis,
                  trackers: Dict[str, BasicWindowTracker],
                  baskets: Dict[str, Basket], catalog: Catalog,
-                 emitter: Emitter, cache_enabled: bool = True):
+                 emitter: Emitter, cache_enabled: bool = True,
+                 plan_fp: Optional[str] = None):
         super().__init__(name, baskets, emitter)
         self.analysis = analysis
         self.trackers = trackers
         self.catalog = catalog
         self.executor = IncrementalExecutor(
             analysis, ExecutionContext(catalog), cache_enabled)
+        # whole-plan identity for stamping chained emits; per firing it
+        # is combined with the full-window oid ranges so the stamp
+        # matches what a reeval factory over the same windows would emit
+        self._plan_fp = plan_fp
+        self._emit_fp: Optional[str] = None
 
     def poll(self, now: int) -> None:
         """Process every newly completed basic window exactly once."""
@@ -331,7 +337,15 @@ class IncrementalFactory(Factory):
         for stream, tracker in self.trackers.items():
             _k, bws = tracker.window_composition()
             compositions[stream] = bws
+        if self._plan_fp is not None:
+            self._emit_fp = emit_fingerprint(
+                self._plan_fp,
+                [(stream, *tracker.window_bounds())
+                 for stream, tracker in self.trackers.items()])
         return self.executor.fire(compositions), None
+
+    def emit_stamp(self) -> Optional[str]:
+        return self._emit_fp
 
     def _commit(self, now: int, consumed: None) -> None:
         floors: Dict[str, int] = {}
@@ -343,4 +357,87 @@ class IncrementalFactory(Factory):
     def stats(self) -> Dict[str, float]:
         out = super().stats()
         out.update(self.executor.cache_stats())
+        return out
+
+
+class DeltaFactory(Factory):
+    """Mode 3: Z-set delta execution (see :mod:`repro.core.delta`).
+
+    Re-uses the reeval window cursors (:class:`WindowState`) but feeds
+    the executor only the arrival/expiry *difference* between
+    consecutive windows; operator state carries the rest across
+    firings. Work per firing is O(Δ) instead of O(window).
+    """
+
+    def __init__(self, name: str, analysis: IncrementalAnalysis,
+                 window_states: Dict[str, WindowState],
+                 baskets: Dict[str, Basket], catalog: Catalog,
+                 emitter: Emitter, plan_fp: Optional[str] = None):
+        from repro.core.delta import DeltaExecutor
+
+        super().__init__(name, baskets, emitter)
+        self.analysis = analysis
+        self.window_states = window_states
+        self.catalog = catalog
+        self.executor = DeltaExecutor(analysis, catalog)
+        self._plan_fp = plan_fp
+        self._emit_fp: Optional[str] = None
+
+    def enabled(self, now: int) -> bool:
+        if self.state != RUNNING:
+            return False
+        return all(ws.ready(now) for ws in self.window_states.values())
+
+    def _split_hints(self, ws: WindowState,
+                     arrive: Tuple[int, int]) -> List[int]:
+        """Oids inside the arrival range where future window los land.
+
+        Only tuple windows are predictable (slide-sized steps from the
+        current window start); time-window chunk boundaries depend on
+        arrival timestamps that may not exist yet, so those fall back
+        to straddle recomputes in the chunk stores.
+        """
+        spec = ws.spec
+        alo, ahi = arrive
+        if spec.kind != "tuple" or ahi - alo <= spec.slide:
+            return []
+        anchor, _ = ws.slice_bounds(0)
+        first = anchor + ((alo - anchor) // spec.slide + 1) * spec.slide
+        return list(range(first, ahi, spec.slide))
+
+    def _evaluate(self, now: int
+                  ) -> Tuple[Optional[Relation], Dict[str, int]]:
+        from repro.core.delta import StreamDelta
+
+        deltas: Dict[str, StreamDelta] = {}
+        ranges: Dict[str, tuple] = {}
+        for stream, ws in self.window_states.items():
+            window, arrive, expire = ws.delta_bounds(now)
+            deltas[stream] = StreamDelta(
+                window, arrive, expire, self._split_hints(ws, arrive))
+            ranges[stream] = self.baskets[stream].clamp_range(*window)
+            self.tuples_in += max(arrive[1] - arrive[0], 0)
+        result = self.executor.fire(deltas, self._read)
+        if self._plan_fp is not None:
+            self._emit_fp = emit_fingerprint(
+                self._plan_fp,
+                [(s, lo, hi) for s, (lo, hi) in ranges.items()])
+        return result, {stream: hi for stream, (_lo, hi)
+                        in ranges.items()}
+
+    def _read(self, stream: str, lo: int, hi: int) -> Relation:
+        return self.baskets[stream].relation(lo, hi)
+
+    def emit_stamp(self) -> Optional[str]:
+        return self._emit_fp
+
+    def _commit(self, now: int,
+                consumed: Optional[Dict[str, int]]) -> None:
+        for stream, ws in self.window_states.items():
+            ws.advance(now, consumed_upto=consumed[stream],
+                       retain_expired=True)
+
+    def stats(self) -> Dict[str, float]:
+        out = super().stats()
+        out.update(self.executor.delta_stats())
         return out

@@ -104,10 +104,19 @@ class Monitor:
                 f"({per_fire:.3f} ms/fire)")
             extra = {k: v for k, v in stats.items()
                      if k.endswith(("cached", "computed", "reused",
-                                    "_rows"))}
+                                    "_rows"))
+                     and not k.startswith("delta_")}
             if extra:
                 lines.append("    cache: " + ", ".join(
                     f"{k}={v}" for k, v in sorted(extra.items())))
+            if "delta_rows_in" in stats:
+                lines.append(
+                    f"    delta: in={stats['delta_rows_in']} "
+                    f"out={stats['delta_rows_out']} "
+                    f"consolidations={stats['delta_consolidations']} "
+                    f"rescans={stats['delta_rescans']} "
+                    f"state={stats['delta_state_rows']} rows "
+                    f"/{stats['delta_state_bytes']} bytes")
         lines.append(f"  network totals: in={total_in} out={total_out} "
                      f"busy={busy:.4f}s")
         sched = eng.scheduler
@@ -136,6 +145,11 @@ class Monitor:
                 f"invalidations={stats['invalidations']} "
                 f"entries={stats['entries']} "
                 f"bytes={stats['bytes']}/{stats['budget_bytes']}")
+            if stats["admission_rejects"] or stats["reuse_decays"]:
+                lines.append(
+                    f"    admission: min_cost={stats['min_cost_ms']:.1f}ms "
+                    f"rejects={stats['admission_rejects']} "
+                    f"reuse_decays={stats['reuse_decays']}")
             if stats["chain_stamped"] or stats["bytes_saved"]:
                 lines.append(
                     f"    chain: stamped={stats['chain_stamped']} "
@@ -225,6 +239,12 @@ class Monitor:
         if executor is None:
             lines.append("  (re-evaluation mode: no cached "
                          "intermediates, full window re-read per fire)")
+            return "\n".join(lines)
+        if hasattr(executor, "describe_state"):
+            for line in executor.describe_state():
+                lines.append("  " + line)
+            if len(lines) == 1:
+                lines.append("  (nothing cached)")
             return "\n".join(lines)
         for (stream, bw), rel in sorted(executor._slices.items()):
             lines.append(f"  slice cache [{stream} bw{bw}]: "

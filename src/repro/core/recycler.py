@@ -76,6 +76,10 @@ _INS = "ins"
 DEFAULT_BUDGET_BYTES = 64 << 20
 POLICIES = ("benefit", "lru")
 
+# every N dead-entry eviction scans, halve all reuse counters so stale
+# high-benefit entries cannot pin the budget forever (reuse decay)
+REUSE_DECAY_SCANS = 32
+
 
 def payload_nbytes(value: Any) -> int:
     """Approximate resident size of a recycled payload."""
@@ -125,7 +129,7 @@ class Recycler:
 
     def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES,
                  enabled: bool = True, verify: bool = False,
-                 policy: str = "benefit"):
+                 policy: str = "benefit", min_cost_ms: float = 0.0):
         if policy not in POLICIES:
             raise ValueError(
                 f"unknown recycler policy {policy!r} "
@@ -134,6 +138,9 @@ class Recycler:
         self.enabled = enabled
         self.verify = verify
         self.policy = policy
+        # admission floor: entries cheaper to recompute than this are
+        # never cached (they cost more in budget pressure than they save)
+        self.min_cost_ms = float(min_cost_ms)
         self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
         # concurrent factory firings (the scheduler's worker pool)
         # share this cache: every get/put/evict holds the lock so the
@@ -155,6 +162,10 @@ class Recycler:
         # chained emit payloads adopted / resolved at stage boundaries
         self.chain_stamped = 0
         self.chain_hits = 0
+        # admission filter + reuse decay bookkeeping
+        self.admission_rejects = 0
+        self.reuse_decays = 0
+        self._dead_scans = 0
         # why entries left: budget pressure (per policy), vacuumed
         # windows, stream drop
         self.eviction_reasons: Dict[str, int] = {
@@ -204,6 +215,9 @@ class Recycler:
         nbytes = payload_nbytes(value)
         if nbytes > self.budget_bytes:
             return  # larger than the whole cache: not worth keeping
+        if self.min_cost_ms > 0.0 and cost_ms < self.min_cost_ms:
+            self.admission_rejects += 1
+            return  # cheaper to recompute than to cache
         old = self._entries.pop(key, None)
         if old is not None:
             self.bytes_used -= old.nbytes
@@ -303,8 +317,18 @@ class Recycler:
     def evict_dead(self, floors: Dict[str, int]) -> int:
         """Drop entries whose windows are entirely below the vacuumed
         ``first_oid`` of their basket (they can never be requested
-        again). *floors* maps basket name -> current first_oid."""
+        again). *floors* maps basket name -> current first_oid.
+
+        Doubles as the reuse-decay clock: every
+        :data:`REUSE_DECAY_SCANS` scans, all reuse counters are halved
+        so an entry that was hot long ago decays back toward its base
+        benefit density instead of pinning the budget forever."""
         with self._mutex:
+            self._dead_scans += 1
+            if self._dead_scans % REUSE_DECAY_SCANS == 0:
+                for entry in self._entries.values():
+                    entry.reuses >>= 1
+                self.reuse_decays += 1
             if not self._entries:
                 return 0
             dead = []
@@ -364,6 +388,9 @@ class Recycler:
                 "slice_misses": self.slice_misses,
                 "chain_stamped": self.chain_stamped,
                 "chain_hits": self.chain_hits,
+                "min_cost_ms": self.min_cost_ms,
+                "admission_rejects": self.admission_rejects,
+                "reuse_decays": self.reuse_decays,
                 "bytes_saved": self.bytes_saved,
                 "cost_saved_ms": round(self.cost_saved_ms, 3),
                 "evictions": self.evictions,

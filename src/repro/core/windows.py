@@ -109,6 +109,9 @@ class WindowState:
         self._next_fire_time = anchor_time + spec.size \
             if spec.kind == "time" else 0
         self.fires = 0
+        # oid bounds of the last fired window; None before the first
+        # firing. Delta mode differences consecutive windows off it.
+        self.last_bounds: Optional[Tuple[int, int]] = None
 
     # -- firing condition --------------------------------------------
 
@@ -142,10 +145,36 @@ class WindowState:
         return (self.basket.oid_at_or_after(lo_t),
                 self.basket.oid_at_or_after(hi_t))
 
+    def delta_bounds(self, now: int
+                     ) -> Tuple[Tuple[int, int], Tuple[int, int],
+                                Tuple[int, int]]:
+        """Z-set difference of the next window against the last fired one.
+
+        Returns ``((lo, hi), (alo, ahi), (elo, ehi))``: the full window,
+        the arrival range (weight +1) and the expiry range (weight -1),
+        all absolute oid ranges. On the first firing the arrival range is
+        the whole window and the expiry range is empty. Expired tuples
+        are still readable from the basket because :meth:`advance` only
+        releases up to the *fired* window's lo — the retraction slice
+        ``[plo, lo)`` is released by the advance that follows this
+        firing, not the one before it.
+        """
+        if self.spec.kind == "none":
+            raise WindowError("delta bounds need a window clause")
+        lo, hi = self.slice_bounds(now)
+        if self.last_bounds is None:
+            return (lo, hi), (lo, hi), (lo, lo)
+        plo, phi = self.last_bounds
+        alo = min(max(phi, lo), hi)
+        elo = plo
+        ehi = max(min(lo, phi), elo)
+        return (lo, hi), (alo, hi), (elo, ehi)
+
     # -- advancing ------------------------------------------------------
 
     def advance(self, now: int,
-                consumed_upto: Optional[int] = None) -> None:
+                consumed_upto: Optional[int] = None,
+                retain_expired: bool = False) -> None:
         """Move to the next window and release expired tuples.
 
         *consumed_upto* is the hi bound the firing actually evaluated.
@@ -153,6 +182,12 @@ class WindowState:
         current ``next_oid``: in live mode a receptor thread may have
         appended tuples mid-evaluation, and recomputing the bound here
         would release them unseen.
+
+        *retain_expired* makes the release lag one window: only tuples
+        before the *fired* window's lo are released, so the next
+        firing's retraction slice ``[plo, lo)`` stays readable from the
+        basket. Delta mode needs this; the other modes release eagerly
+        up to the next window's lo.
         """
         lo, hi = self.slice_bounds(now)
         self.fires += 1
@@ -162,15 +197,18 @@ class WindowState:
             self.sub.read_upto = hi
             self.sub.release(hi)
             return
+        self.last_bounds = (lo, hi)
         if self.spec.kind == "tuple":
             self._win_start_oid += self.spec.slide
             self.sub.read_upto = max(self.sub.read_upto, hi)
-            self.sub.release(self._win_start_oid)
+            self.sub.release(lo if retain_expired
+                             else self._win_start_oid)
             return
         self._next_fire_time += self.spec.slide
         self.sub.read_upto = max(self.sub.read_upto, hi)
         new_lo_t = self._next_fire_time - self.spec.size
-        self.sub.release(self.basket.oid_at_or_after(new_lo_t))
+        self.sub.release(lo if retain_expired
+                         else self.basket.oid_at_or_after(new_lo_t))
 
     def __repr__(self) -> str:
         return (f"WindowState({self.basket.name}, {self.spec!r}, "
@@ -251,6 +289,17 @@ class BasicWindowTracker:
         """(window index, list of basic-window indexes) for the next fire."""
         k = self._next_window
         return k, list(range(k, k + self.n_basic))
+
+    def window_bounds(self) -> Tuple[int, int]:
+        """Absolute oid range [lo, hi) of the next full window to fire.
+
+        The same range a reeval cursor would evaluate — used to stamp
+        emissions with a content fingerprint comparable across modes.
+        """
+        k = self._next_window
+        lo, _ = self._bw_bounds(k)
+        _, hi = self._bw_bounds(k + self.n_basic - 1)
+        return lo, hi
 
     def advance(self) -> List[int]:
         """Finish the current window; returns evictable bw indexes."""

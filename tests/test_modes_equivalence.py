@@ -1,8 +1,9 @@
 """The paper's central correctness claim: incremental mode produces
-exactly the windows re-evaluation mode produces.
+exactly the windows re-evaluation mode produces — and so does the
+Z-set delta mode (:mod:`repro.core.delta`).
 
 Covers deterministic scenarios plus hypothesis-driven random streams,
-window geometries and query shapes.
+window geometries and query shapes, compared across all three modes.
 """
 
 import pytest
@@ -29,18 +30,24 @@ def run_query(rows, query, mode, schema="CREATE STREAM s (k INT, v FLOAT)",
 
 def normalize(row):
     """Round floats so FP non-associativity (partial sums merge in a
-    different order than full-window sums) does not fail the compare."""
-    return tuple(round(v, 6) if isinstance(v, float) else v for v in row)
+    different order than full-window sums) does not fail the compare.
+    ``+ 0.0`` folds ``-0.0`` into ``+0.0`` — running sums can cancel a
+    tiny value to an exact zero whose sign differs from the rounded
+    full-window sum."""
+    return tuple(round(v, 6) + 0.0 if isinstance(v, float) else v
+                 for v in row)
 
 
 def assert_modes_agree(rows, query, expect_incremental=True, **kw):
     m1, r1 = run_query(rows, query, "reeval", **kw)
     m2, r2 = run_query(rows, query, "incremental", **kw)
-    assert m1 == "reeval" and m2 == "incremental"
-    assert len(r1) == len(r2)
-    for a, b in zip(r1, r2):
-        assert sorted(map(repr, map(normalize, a))) == \
-            sorted(map(repr, map(normalize, b))), (a, b)
+    m3, r3 = run_query(rows, query, "delta", **kw)
+    assert m1 == "reeval" and m2 == "incremental" and m3 == "delta"
+    assert len(r1) == len(r2) == len(r3)
+    for a, b, c in zip(r1, r2, r3):
+        key = sorted(map(repr, map(normalize, a)))
+        assert key == sorted(map(repr, map(normalize, b))), (a, b)
+        assert key == sorted(map(repr, map(normalize, c))), (a, c)
     return r1
 
 
@@ -137,10 +144,13 @@ class TestHybridAndJoins:
     def test_join_modes_agree(self, query):
         m1, r1 = self.run(query, "reeval")
         m2, r2 = self.run(query, "incremental")
-        assert m2 == "incremental"
-        assert len(r1) == len(r2)
-        for a, b in zip(r1, r2):
-            assert sorted(map(repr, a)) == sorted(map(repr, b))
+        m3, r3 = self.run(query, "delta")
+        assert m2 == "incremental" and m3 == "delta"
+        assert len(r1) == len(r2) == len(r3)
+        for a, b, c in zip(r1, r2, r3):
+            key = sorted(map(repr, a))
+            assert key == sorted(map(repr, b))
+            assert key == sorted(map(repr, c))
 
 
 @st.composite
