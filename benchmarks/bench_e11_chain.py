@@ -76,13 +76,18 @@ def build_chain(engine: DataCellEngine, n_queries: int) -> List[str]:
 
 
 def run_chain(policy: Optional[str], n_queries: int,
-              nrows: int = N_ROWS
+              nrows: int = N_ROWS, autotune: bool = False
               ) -> Tuple[DataCellEngine, List[str], float]:
-    """One full run; ``policy=None`` disables the recycler."""
+    """One full run; ``policy=None`` disables the recycler.
+
+    ``autotune=True`` keeps the same deliberately starved starting
+    budget but lets the autotuner grow it out of the thrash — the
+    configuration the recycler-on-vs-off acceptance gate runs."""
     engine = DataCellEngine(
         recycler_enabled=policy is not None,
         recycler_policy=policy or "benefit",
-        recycler_budget_bytes=BUDGET_BYTES)
+        recycler_budget_bytes=BUDGET_BYTES,
+        recycler_autotune=autotune)
     names = build_chain(engine, n_queries)
     drive(engine, "sensors", sensor_rows(nrows), rate=RATE)
     busy = sum(f.busy_seconds for f in engine.scheduler.factories)
@@ -90,14 +95,15 @@ def run_chain(policy: Optional[str], n_queries: int,
 
 
 def _best(policy: Optional[str], n_queries: int, nrows: int,
-          repeats: int = 3
+          repeats: int = 3, autotune: bool = False
           ) -> Tuple[DataCellEngine, List[str], float]:
     """Best-of-*repeats* busy time (min is the noise-robust estimator
     for CPU-bound work) plus the last run's engine."""
     best = float("inf")
     engine = names = None
     for _ in range(repeats):
-        engine, names, busy = run_chain(policy, n_queries, nrows)
+        engine, names, busy = run_chain(policy, n_queries, nrows,
+                                        autotune=autotune)
         best = min(best, busy)
     return engine, names, best
 
@@ -115,20 +121,26 @@ def hit_rate(stats: dict) -> float:
 def run_experiment(nrows: int = N_ROWS, repeats: int = 3) -> ResultTable:
     table = ResultTable(
         f"E11c: chained-network recycling, eviction-policy ablation "
-        f"({nrows} tuples, 3 stages, budget={BUDGET_BYTES}B)",
+        f"({nrows} tuples, 3 stages, budget={BUDGET_BYTES}B, "
+        f"autotuned column grows from that budget)",
         ["queries", "busy_off_ms", "busy_lru_ms", "busy_benefit_ms",
-         "hitrate_lru", "hitrate_benefit", "chain_hits_benefit",
-         "evictions_benefit"])
+         "busy_autotuned_ms", "hitrate_lru", "hitrate_benefit",
+         "chain_hits_benefit", "evictions_benefit", "budget_grows"])
     for n in QUERY_COUNTS:
         _off, _names, busy_off = _best(None, n, nrows, repeats)
         lru_engine, _names, busy_lru = _best("lru", n, nrows, repeats)
         ben_engine, _names, busy_ben = _best("benefit", n, nrows,
                                              repeats)
+        auto_engine, _names, busy_auto = _best("benefit", n, nrows,
+                                               repeats, autotune=True)
         lru = lru_engine.recycler.stats()
         ben = ben_engine.recycler.stats()
+        auto = auto_engine.recycler.stats()
         table.add(n, busy_off * 1000, busy_lru * 1000, busy_ben * 1000,
+                  busy_auto * 1000,
                   round(hit_rate(lru), 4), round(hit_rate(ben), 4),
-                  ben["chain_hits"], ben["evictions"])
+                  ben["chain_hits"], ben["evictions"],
+                  auto["budget_grows"])
     return table
 
 
@@ -156,6 +168,27 @@ def test_e11_policies_emit_identical_results():
         rows = off_engine.results(name).rows()
         assert lru_engine.results(name).rows() == rows
         assert ben_engine.results(name).rows() == rows
+
+
+def test_e11_autotuned_recycler_not_slower_than_off():
+    """The E11c acceptance bar: starting from the same starved budget
+    the policy ablation uses, the autotuner must grow the cache out of
+    its thrash so recycler-on busy time does not exceed recycler-off.
+    Runs are paired back-to-back and gated on the best pair, which
+    cancels the box-load drift that independent best-of-N cannot."""
+    best = None
+    for _ in range(3):
+        _e, _n, off = run_chain(None, 16, nrows=8000)
+        engine, _n, on = run_chain("benefit", 16, nrows=8000,
+                                   autotune=True)
+        ratio = on / off if off else 0.0
+        if best is None or ratio < best[0]:
+            best = (ratio, engine)
+    ratio, engine = best
+    stats = engine.recycler.stats()
+    assert stats["budget_grows"] >= 1, stats
+    assert ratio <= 1.0, \
+        f"autotuned recycler-on {ratio:.3f}x recycler-off busy time"
 
 
 def test_e11_benefit_hit_rate_at_least_lru():

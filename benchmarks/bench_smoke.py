@@ -8,11 +8,12 @@ Runs the experiments the stacked PRs track for regressions — E2
 (standing-query scaling + recycler on/off ablation), E8 (serial vs
 worker-pool parallel ablation), E9 (basket ingest/retention
 mechanics), E10n (network-edge loopback throughput), E11c
-(chained-network recycling, eviction-policy ablation) and E13
-(Z-set delta execution vs incremental vs re-evaluation) — and writes
-``BENCH_E2.json``, ``BENCH_E8.json``, ``BENCH_E9.json``,
-``BENCH_E10.json``, ``BENCH_E11.json`` and ``BENCH_E13.json`` to the
-repo root (or
+(chained-network recycling, eviction-policy ablation), E13
+(Z-set delta execution vs incremental vs re-evaluation) and E14
+(interpreted vs slot-compiled per-fire overhead, recycler admission
+ablation) — and writes ``BENCH_E2.json``, ``BENCH_E8.json``,
+``BENCH_E9.json``, ``BENCH_E10.json``, ``BENCH_E11.json``,
+``BENCH_E13.json`` and ``BENCH_E14.json`` to the repo root (or
 ``--outdir``). CI runs ``--quick`` so drift is caught without a full
 experiment sweep; ``repro.bench.reporting.compare_runs`` diffs two
 archives.
@@ -29,7 +30,8 @@ sys.path.insert(0, os.path.dirname(os.path.dirname(
 
 from benchmarks import (bench_e2_multiquery, bench_e8_scheduler,
                         bench_e9_baskets, bench_e10_net,
-                        bench_e11_chain, bench_e13_delta)
+                        bench_e11_chain, bench_e13_delta,
+                        bench_e14_interp)
 from repro.bench.reporting import save_json
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -80,6 +82,13 @@ def run_e13(quick: bool):
             bench_e13_delta.run_nondivisible_table()]
 
 
+def run_e14(quick: bool):
+    nrows = 8_000 if quick else bench_e14_interp.N_ROWS
+    repeats = 1 if quick else 3
+    return bench_e14_interp.run_experiment(nrows=nrows,
+                                           repeats=repeats)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -93,7 +102,8 @@ def main(argv=None) -> int:
                          ("BENCH_E9.json", run_e9),
                          ("BENCH_E10.json", run_e10),
                          ("BENCH_E11.json", run_e11),
-                         ("BENCH_E13.json", run_e13)):
+                         ("BENCH_E13.json", run_e13),
+                         ("BENCH_E14.json", run_e14)):
         tables = runner(args.quick)
         for table in tables:
             print()

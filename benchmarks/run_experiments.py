@@ -1,4 +1,4 @@
-"""Run every experiment (E1-E10) and print the full report.
+"""Run every experiment (E1-E14) and print the full report.
 
 Usage::
 
@@ -25,7 +25,8 @@ from benchmarks import (bench_e1_compile, bench_e2_multiquery,
                         bench_e7_linearroad, bench_e8_scheduler,
                         bench_e9_baskets, bench_e10_ablation,
                         bench_e10_net, bench_e11_indexing,
-                        bench_e12_storefirst, bench_e13_delta)
+                        bench_e12_storefirst, bench_e13_delta,
+                        bench_e14_interp)
 
 EXPERIMENTS = [
     ("E1 — continuous-query compilation", bench_e1_compile),
@@ -43,6 +44,7 @@ EXPERIMENTS = [
     ("E12 — continuous vs store-first-query-later",
      bench_e12_storefirst),
     ("E13 — Z-set delta execution", bench_e13_delta),
+    ("E14 — slot-compiled plan execution", bench_e14_interp),
 ]
 
 

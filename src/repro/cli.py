@@ -31,6 +31,8 @@ runtime:
 ``.net``           the network-edge pane (per-connection counters)
 ``.recycler``      shared-work cache counters (hits/misses/evictions,
                    policy, chain stamps/hits, bytes & ms saved)
+``.interp``        plan-execution pane (slot-compiler counters,
+                   per-opcode profile, autotuner budget trajectory)
 ``.scheduler``     worker-pool / wave counters and failure totals
 ``.queries``       list standing queries
 ``.help / .quit``
@@ -244,6 +246,9 @@ class DataCellShell:
         reasons = ", ".join(f"{k}={v}" for k, v in
                             sorted(stats["eviction_reasons"].items()))
         self._print(f"  eviction_reasons: {reasons}")
+
+    def _cmd_interp(self, arg: str) -> None:
+        self._print(self.engine.monitor.interp())
 
     def _cmd_scheduler(self, arg: str) -> None:
         sched = self.engine.scheduler

@@ -37,7 +37,8 @@ from repro.core.scheduler import PetriNetScheduler
 from repro.core.windows import BasicWindowTracker, WindowSpec, WindowState
 from repro.errors import BindError, CatalogError, StreamError
 from repro.mal.compiler import compile_plan
-from repro.mal.fingerprint import program_fingerprint
+from repro.mal.fingerprint import (cached_program_fingerprint,
+                                   fingerprint_cache_stats)
 from repro.mal.interpreter import MALContext, MALInterpreter
 from repro.mal.program import MALProgram
 from repro.mal.relation import Relation
@@ -89,7 +90,11 @@ class DataCellEngine:
                  recycler_verify: bool = False,
                  recycler_policy: str = "benefit",
                  recycler_min_cost_ms: float = 0.0,
-                 parallel_workers: Optional[int] = None):
+                 recycler_autotune: bool = False,
+                 recycler_autotune_ceiling: Optional[int] = None,
+                 parallel_workers: Optional[int] = None,
+                 compile_plans: bool = True,
+                 interp_profile: bool = False):
         """``parallel_workers`` sizes the scheduler's firing pool:
         ``None``/``1`` (default) keeps the serial cascade — the
         deterministic path every SimulatedClock run gets unless
@@ -105,14 +110,34 @@ class DataCellEngine:
         ``recycler_min_cost_ms`` is the cache admission floor: entries
         whose recorded recompute cost is below it are never cached
         (cheap intermediates cost more in budget pressure than their
-        reuse saves)."""
+        reuse saves).
+
+        ``recycler_autotune`` turns on the budget autotuner: the
+        scheduler grows ``budget_bytes`` (up to
+        ``recycler_autotune_ceiling``, default 64 MB) when eviction
+        churn outpaces cache hits, and shrinks it back toward the
+        configured budget when the cache sits idle — so an
+        under-provisioned budget cannot make recycler-on slower than
+        recycler-off.
+
+        ``compile_plans`` (default on) slot-compiles each registered
+        continuous plan into pre-bound thunks at registration
+        (:func:`repro.mal.compiler.compile_program`); firing then skips
+        the interpreter's per-instruction dispatch entirely.
+        ``interp_profile`` additionally records per-opcode cumulative
+        wall time on every firing (the ``.interp`` monitor pane)."""
         self.clock = clock if clock is not None else SimulatedClock()
         self.catalog = Catalog()
         self.recycler = Recycler(recycler_budget_bytes,
                                  enabled=recycler_enabled,
                                  verify=recycler_verify,
                                  policy=recycler_policy,
-                                 min_cost_ms=recycler_min_cost_ms)
+                                 min_cost_ms=recycler_min_cost_ms,
+                                 autotune=recycler_autotune,
+                                 autotune_ceiling_bytes=(
+                                     recycler_autotune_ceiling))
+        self.compile_plans = bool(compile_plans)
+        self.interp_profile = bool(interp_profile)
         self.scheduler = PetriNetScheduler(
             self.clock,
             recycler=self.recycler if recycler_enabled else None,
@@ -466,6 +491,11 @@ class DataCellEngine:
             # (factories without stamps return None and append plain)
             out_sink.bind_producer(factory)
         self.scheduler.add_factory(factory)
+        # census for the recycler's sharing-based admission filter:
+        # instruction fingerprints carried by fewer than two registered
+        # consumers can never produce a cache hit and are skipped
+        if factory.recycle_fps:
+            self.recycler.retain_fps(factory.recycle_fps)
 
         query = ContinuousQuery(name, sql, plan, program,
                                 continuous_program, resolved_mode,
@@ -523,7 +553,7 @@ class DataCellEngine:
         # content identity of this plan's emissions; shared by every
         # mode so chained consumers recognise equal payloads regardless
         # of how the producer executed
-        plan_fp = program_fingerprint(continuous_program) \
+        plan_fp = cached_program_fingerprint(continuous_program) \
             if self.recycler.enabled else None
         if mode == "incremental":
             trackers = {}
@@ -546,7 +576,9 @@ class DataCellEngine:
                              window_states, baskets, self.catalog,
                              emitter, min_batch, max_delay_ms,
                              recycler=self.recycler
-                             if self.recycler.enabled else None)
+                             if self.recycler.enabled else None,
+                             compiled=self.compile_plans,
+                             profile=self.interp_profile)
 
     def remove_query(self, name: str) -> None:
         name = name.lower()
@@ -554,6 +586,8 @@ class DataCellEngine:
         if query is None:
             raise StreamError(f"no continuous query {name!r}")
         self.scheduler.remove_factory(name)
+        if query.factory.recycle_fps:
+            self.recycler.release_fps(query.factory.recycle_fps)
         for stream in query.streams:
             self.basket(stream).unsubscribe(name)
             self.basket(stream).vacuum()
@@ -611,14 +645,59 @@ class DataCellEngine:
         return self.scheduler.run_until_drained(max_steps)
 
     def network_stats(self) -> Dict[str, Dict]:
-        """The scheduler's Petri-net counters, plus a ``"net"`` section
-        (per-connection ingest/deliver/shed/blocked counters) when a
-        network edge — a :class:`~repro.net.server.DataCellServer` —
-        is attached."""
+        """The scheduler's Petri-net counters, plus an ``"interp"``
+        section (plan-execution counters, :meth:`interp_stats`) and a
+        ``"net"`` section (per-connection ingest/deliver/shed/blocked
+        counters) when a network edge — a
+        :class:`~repro.net.server.DataCellServer` — is attached."""
         stats = self.scheduler.network_stats()
+        stats["interp"] = self.interp_stats()
         if self.net_edge is not None:
             stats["net"] = self.net_edge.net_stats()
         return stats
+
+    def interp_stats(self) -> Dict[str, Any]:
+        """Plan-execution counters: slot-compiler activity, digest-
+        cache hit rates, emit-stamp amortization, per-opcode profile
+        (when ``interp_profile`` is on) and the autotuner's budget
+        trajectory."""
+        from repro.mal.compiler import compile_stats
+
+        out: Dict[str, Any] = {}
+        out.update(compile_stats())
+        out.update(fingerprint_cache_stats())
+        compiled = 0
+        interpreted = 0
+        stamps = 0
+        profile: Dict[str, List[float]] = {}
+        for factory in self.scheduler.factories:
+            if getattr(factory, "compiled", None) is not None:
+                compiled += 1
+            elif isinstance(factory, ReevalFactory):
+                interpreted += 1
+            stamper = getattr(factory, "_stamper", None)
+            if stamper is not None:
+                stamps += stamper.stamps
+            for opcode, (calls, ms) in getattr(
+                    factory, "opcode_profile", {}).items():
+                cell = profile.setdefault(opcode, [0, 0.0])
+                cell[0] += calls
+                cell[1] += ms
+        out["factories_compiled"] = compiled
+        out["factories_interpreted"] = interpreted
+        out["emit_stamps"] = stamps
+        out["profile_enabled"] = int(self.interp_profile)
+        out["opcode_profile"] = {
+            op: {"calls": int(calls), "ms": round(ms, 3)}
+            for op, (calls, ms) in sorted(
+                profile.items(), key=lambda kv: -kv[1][1])}
+        out["autotune"] = int(self.recycler.autotune)
+        out["budget_bytes"] = self.recycler.budget_bytes
+        out["budget_grows"] = self.recycler.budget_grows
+        out["budget_shrinks"] = self.recycler.budget_shrinks
+        out["budget_trajectory"] = list(
+            self.recycler.budget_trajectory)
+        return out
 
     # ------------------------------------------------------------------
     # snapshot / restore

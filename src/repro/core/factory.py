@@ -25,10 +25,10 @@ from repro.core.basket import Basket
 from repro.core.emitter import Emitter
 from repro.core.incremental import IncrementalAnalysis, IncrementalExecutor
 from repro.core.windows import BasicWindowTracker, WindowState
-from repro.errors import FactoryError
-from repro.mal.fingerprint import (emit_fingerprint,
-                                   fingerprint_program,
-                                   program_fingerprint)
+from repro.errors import FactoryError, MALError
+from repro.mal.compiler import compile_program, record_compile_fallback
+from repro.mal.fingerprint import (EmitStamper, cached_fingerprints,
+                                   cached_program_fingerprint)
 from repro.mal.interpreter import MALContext, MALInterpreter
 from repro.mal.program import MALProgram
 from repro.mal.relation import Relation
@@ -74,6 +74,9 @@ class Factory:
         self.busy_seconds = 0.0
         self.last_error: Optional[Exception] = None
         self.last_result: Optional[Relation] = None
+        # recyclable instruction fingerprints (reeval factories fill
+        # this in; the engine feeds it to the recycler's census)
+        self.recycle_fps: List[str] = []
         # wall time of the last successful _evaluate, in ms — the
         # recompute cost a chained output basket charges its adopted
         # emit payloads with
@@ -190,7 +193,8 @@ class ReevalFactory(Factory):
                  window_states: Dict[str, WindowState],
                  baskets: Dict[str, Basket], catalog: Catalog,
                  emitter: Emitter, min_batch: int = 1,
-                 max_delay_ms: Optional[int] = None, recycler=None):
+                 max_delay_ms: Optional[int] = None, recycler=None,
+                 compiled: bool = True, profile: bool = False):
         super().__init__(name, baskets, emitter)
         self.program = program
         self.plan = plan
@@ -200,15 +204,38 @@ class ReevalFactory(Factory):
         self.max_delay_ms = max_delay_ms
         self.recycler = recycler
         # structural fingerprints are a property of the (static)
-        # program: computed once here, consulted every firing
-        self._fingerprints = fingerprint_program(program) \
+        # program: memoized per plan, consulted every firing
+        self._fingerprints = cached_fingerprints(program) \
             if recycler is not None else None
         # whole-plan identity for stamping chained emits; the
         # per-firing emit fingerprint combines it with the input
-        # window ranges the firing evaluated
-        self._plan_fp = program_fingerprint(program) \
+        # window ranges the firing evaluated. The stamper pre-hashes
+        # the plan prefix so each firing digests only the range text
+        self._plan_fp = cached_program_fingerprint(program) \
             if recycler is not None else None
+        self._stamper = EmitStamper(self._plan_fp) \
+            if self._plan_fp is not None else None
+        # recyclable fingerprints for the recycler's sharing census,
+        # plus the cached whole-plan admission decision
+        self.recycle_fps = [info.fp for info in (self._fingerprints or [])
+                            if info is not None and info.recyclable]
+        self._gate_version = -1
+        self._gate_recycle = True
+        self._gate_modes: Optional[tuple] = None
         self._emit_fp: Optional[str] = None
+        # slot-compile once at registration; a compile failure (open
+        # opcode table, externally injected bindings) falls back to
+        # the interpreter rather than rejecting the query
+        self.compiled = None
+        if compiled:
+            try:
+                self.compiled = compile_program(program)
+            except MALError:
+                record_compile_fallback()
+        # per-opcode [calls, cumulative_ms], populated when profiling
+        # is on (the firing lock serializes updates)
+        self.profile_enabled = bool(profile)
+        self.opcode_profile: Dict[str, List[float]] = {}
 
     def enabled(self, now: int) -> bool:
         if self.state != RUNNING:
@@ -264,16 +291,53 @@ class ReevalFactory(Factory):
         ctx = MALContext(self.catalog,
                          stream_reader=lambda name: slices[name],
                          basket_hooks=hooks)
-        interp = MALInterpreter(ctx, recycler=self.recycler,
-                                fingerprints=self._fingerprints,
-                                window_ranges=ranges)
-        result = interp.run(self.program)
-        if self._plan_fp is not None:
-            self._emit_fp = emit_fingerprint(
-                self._plan_fp,
+        result = self._run_plan(ctx, ranges)
+        if self._stamper is not None:
+            self._emit_fp = self._stamper.stamp(
                 [(s, lo, hi) for s, (lo, hi) in ranges.items()])
         return result, {stream: hi for stream, (_lo, hi)
                         in ranges.items()}
+
+    def _run_plan(self, ctx: MALContext,
+                  ranges: Dict[str, tuple]) -> Optional[Relation]:
+        """Dispatch one firing to the specialized executor.
+
+        Compiled plans take the slot loop (recycled or bare); plans
+        that failed to compile keep the interpreter, bit-for-bit
+        equivalent by construction."""
+        recycling = (self.recycler is not None
+                     and self.recycler.enabled)
+        if recycling and self.recycle_fps:
+            # whole-plan admission: when the sharing census proves no
+            # instruction of this plan can produce a cache hit, run
+            # the bare loop. Cached until the census changes, so the
+            # steady-state cost is one integer compare per firing.
+            version = self.recycler.census_version
+            if version != self._gate_version:
+                self._gate_version = version
+                self._gate_recycle = self.recycler.plan_should_recycle(
+                    self.recycle_fps)
+                # per-step admission snapshot for the compiled loop:
+                # steps the ledger retired run the bare thunk with no
+                # per-fire recycler call at all
+                if self._gate_recycle and self.compiled is not None:
+                    self._gate_modes = self.compiled.attempt_modes(
+                        self.recycler)
+            recycling = self._gate_recycle
+        if self.compiled is not None:
+            if self.profile_enabled:
+                return self.compiled.run_profiled(
+                    ctx, self.opcode_profile,
+                    self.recycler if recycling else None, ranges,
+                    modes=self._gate_modes if recycling else None)
+            if recycling:
+                return self.compiled.run_recycled(
+                    ctx, self.recycler, ranges, self._gate_modes)
+            return self.compiled.run(ctx)
+        interp = MALInterpreter(ctx, recycler=self.recycler,
+                                fingerprints=self._fingerprints,
+                                window_ranges=ranges)
+        return interp.run(self.program)
 
     def emit_stamp(self) -> Optional[str]:
         return self._emit_fp
@@ -302,6 +366,8 @@ class IncrementalFactory(Factory):
         # is combined with the full-window oid ranges so the stamp
         # matches what a reeval factory over the same windows would emit
         self._plan_fp = plan_fp
+        self._stamper = EmitStamper(plan_fp) \
+            if plan_fp is not None else None
         self._emit_fp: Optional[str] = None
 
     def poll(self, now: int) -> None:
@@ -337,9 +403,8 @@ class IncrementalFactory(Factory):
         for stream, tracker in self.trackers.items():
             _k, bws = tracker.window_composition()
             compositions[stream] = bws
-        if self._plan_fp is not None:
-            self._emit_fp = emit_fingerprint(
-                self._plan_fp,
+        if self._stamper is not None:
+            self._emit_fp = self._stamper.stamp(
                 [(stream, *tracker.window_bounds())
                  for stream, tracker in self.trackers.items()])
         return self.executor.fire(compositions), None
@@ -381,6 +446,8 @@ class DeltaFactory(Factory):
         self.catalog = catalog
         self.executor = DeltaExecutor(analysis, catalog)
         self._plan_fp = plan_fp
+        self._stamper = EmitStamper(plan_fp) \
+            if plan_fp is not None else None
         self._emit_fp: Optional[str] = None
 
     def enabled(self, now: int) -> bool:
@@ -418,9 +485,8 @@ class DeltaFactory(Factory):
             ranges[stream] = self.baskets[stream].clamp_range(*window)
             self.tuples_in += max(arrive[1] - arrive[0], 0)
         result = self.executor.fire(deltas, self._read)
-        if self._plan_fp is not None:
-            self._emit_fp = emit_fingerprint(
-                self._plan_fp,
+        if self._stamper is not None:
+            self._emit_fp = self._stamper.stamp(
                 [(s, lo, hi) for s, (lo, hi) in ranges.items()])
         return result, {stream: hi for stream, (_lo, hi)
                         in ranges.items()}

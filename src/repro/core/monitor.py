@@ -200,6 +200,42 @@ class Monitor:
             f"evicted={totals['evicted']}")
         return "\n".join(lines)
 
+    def interp(self) -> str:
+        """The plan-execution pane: slot-compiler and digest-cache
+        counters, per-opcode cumulative wall time from the compiled
+        thunks (when profiling is on) and the recycler autotuner's
+        budget trajectory."""
+        stats = self.engine.interp_stats()
+        lines = [
+            f"plan execution: {stats['factories_compiled']} compiled, "
+            f"{stats['factories_interpreted']} interpreted "
+            f"(compiles={stats['compiles']} "
+            f"shared={stats['compile_cache_hits']} "
+            f"fallbacks={stats['compile_fallbacks']})",
+            f"  fingerprints: cache hits={stats['fp_cache_hits']} "
+            f"misses={stats['fp_cache_misses']} "
+            f"entries={stats['fp_cache_entries']} | "
+            f"emit stamps={stats['emit_stamps']}",
+        ]
+        if stats["opcode_profile"]:
+            lines.append("  per-opcode (cumulative):")
+            for opcode, cell in stats["opcode_profile"].items():
+                lines.append(f"    {opcode}: {cell['calls']} calls, "
+                             f"{cell['ms']:.3f} ms")
+        elif not stats["profile_enabled"]:
+            lines.append("  per-opcode: (profiling off — construct the "
+                         "engine with interp_profile=True)")
+        tuner = "on" if stats["autotune"] else "off"
+        lines.append(f"  autotuner [{tuner}]: "
+                     f"budget={stats['budget_bytes']} bytes "
+                     f"grows={stats['budget_grows']} "
+                     f"shrinks={stats['budget_shrinks']}")
+        if len(stats["budget_trajectory"]) > 1:
+            path = " -> ".join(str(b) for b
+                               in stats["budget_trajectory"])
+            lines.append(f"    trajectory: {path}")
+        return "\n".join(lines)
+
     def plans(self, query_name: str) -> str:
         """Logical plan + MAL before/after the continuous rewrite."""
         query = self.engine.continuous_query(query_name)

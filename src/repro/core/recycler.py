@@ -61,7 +61,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -79,6 +79,35 @@ POLICIES = ("benefit", "lru")
 # every N dead-entry eviction scans, halve all reuse counters so stale
 # high-benefit entries cannot pin the budget forever (reuse decay)
 REUSE_DECAY_SCANS = 32
+# stores a fingerprint may accumulate without a single reuse before the
+# admission filter stops attempting it (halved back on the decay clock,
+# and reset outright when a new standing query registers)
+COLD_FP_STORES = 32
+# allowance per attempt for the bookkeeping the recycler cannot time
+# itself (the caller's key build and call dispatch); the dominant costs
+# — probe, store, eviction accounting — are measured live inside
+# lookup()/store() and accumulated per fingerprint, so the verdict
+# stays calibrated whatever the box's load is doing to wall time
+RECYCLE_OVERHEAD_MS = 0.002
+# hits must beat the measured bookkeeping by this factor to stay
+# admitted: the ledger cannot see the consumer-side register bind or
+# the allocator/cache pressure of keeping extra intermediates alive,
+# so break-even-on-paper fingerprints are net losses in practice
+FP_BENEFIT_MARGIN = 2.0
+# resolved entry lifecycles before a fingerprint's cheap verdict is
+# trusted
+FP_VERDICT_MIN_ENTRIES = 16
+
+# the budget autotuner adapts once per this many cache events
+# (evictions + hits): enough activity that the churn/benefit ratio is
+# meaningful, small enough to react within a bench run
+AUTOTUNE_WINDOW = 256
+
+# consecutive eviction-free windows required before the tuner gives
+# memory back; shrinking on the first idle window oscillates (the
+# freshly grown budget absorbs the churn, looks idle, shrinks, and
+# thrashes again)
+AUTOTUNE_SHRINK_WINDOWS = 8
 
 
 def payload_nbytes(value: Any) -> int:
@@ -129,7 +158,9 @@ class Recycler:
 
     def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES,
                  enabled: bool = True, verify: bool = False,
-                 policy: str = "benefit", min_cost_ms: float = 0.0):
+                 policy: str = "benefit", min_cost_ms: float = 0.0,
+                 autotune: bool = False,
+                 autotune_ceiling_bytes: Optional[int] = None):
         if policy not in POLICIES:
             raise ValueError(
                 f"unknown recycler policy {policy!r} "
@@ -138,6 +169,22 @@ class Recycler:
         self.enabled = enabled
         self.verify = verify
         self.policy = policy
+        # budget autotuner (see autotune_tick): the configured budget is
+        # the floor (never give back memory the user asked for less of),
+        # the ceiling defaults to the stock 64 MB unless the user set a
+        # larger budget outright
+        self.autotune = bool(autotune)
+        self.budget_floor = self.budget_bytes
+        self.budget_ceiling = (int(autotune_ceiling_bytes)
+                               if autotune_ceiling_bytes
+                               else max(self.budget_bytes,
+                                        DEFAULT_BUDGET_BYTES))
+        self.budget_grows = 0
+        self.budget_shrinks = 0
+        self.budget_trajectory = [self.budget_bytes]
+        self._tune_evictions0 = 0
+        self._tune_hits0 = 0
+        self._tune_idle_windows = 0
         # admission floor: entries cheaper to recompute than this are
         # never cached (they cost more in budget pressure than they save)
         self.min_cost_ms = float(min_cost_ms)
@@ -166,6 +213,32 @@ class Recycler:
         self.admission_rejects = 0
         self.reuse_decays = 0
         self._dead_scans = 0
+        # cold-fingerprint admission filter: per-fp stores that never
+        # saw one reuse; fps past COLD_FP_STORES are skipped entirely
+        # (no key build, no lookup, no store) until a decay or a query
+        # registration re-probes them. One hit whitelists the fp.
+        self._fp_cold_stores: Dict[str, int] = {}
+        self._fp_hot: set = set()
+        self.cold_skips = 0
+        # registration-time census: how many registered consumers carry
+        # each instruction fingerprint. Instruction keys embed the
+        # firing's window ranges, so reuse can only come from a second
+        # consumer with the same fingerprint — a refcount of 1 proves
+        # the entry can never be shared, no matter the firing order
+        self._fp_refs: Dict[str, int] = {}
+        # per-fp net-benefit ledger: [resolved_attempts, saved_ms,
+        # resolved_entries]. An entry *resolves* when it leaves the
+        # cache (hit-credited earlier, wasted if never reused); only
+        # resolved lifecycles count, so a one-sided burst (producer
+        # fires all its windows before any consumer runs) cannot form
+        # a verdict before sharers had their chance. Once trusted, fps
+        # whose hits save less than the bookkeeping overhead are
+        # skipped (the cost-model admission half of the tuner)
+        self._fp_benefit: Dict[str, List[float]] = {}
+        # bumped on every retain/release so factories can cache their
+        # per-plan recycling decision until the census changes
+        self.census_version = 0
+        self.plan_skips = 0
         # why entries left: budget pressure (per policy), vacuumed
         # windows, stream drop
         self.eviction_reasons: Dict[str, int] = {
@@ -182,6 +255,24 @@ class Recycler:
         if entry is not None:
             self._entries.move_to_end(key)
         return entry
+
+    def _resolve_entry(self, key: tuple, entry: "_Entry") -> None:
+        """Close an instruction entry's lifecycle as it leaves the
+        cache: its attempts (one store + its reuses) join the fp's
+        resolved ledger. Call with the mutex held."""
+        if key[0] is not _INS:
+            return
+        fp = key[1]
+        cell = self._fp_benefit.get(fp)
+        if cell is None:
+            cell = self._fp_benefit[fp] = [0.0, 0.0, 0.0, 0.0]
+        cell[0] += 1.0 + entry.reuses
+        cell[2] += 1.0
+        if cell[2] == FP_VERDICT_MIN_ENTRIES and \
+                cell[1] < FP_BENEFIT_MARGIN * (
+                    cell[3] + cell[0] * RECYCLE_OVERHEAD_MS):
+            # cheap verdict just formed: plan gates must re-evaluate
+            self.census_version += 1
 
     def _account_hit(self, entry: _Entry) -> None:
         entry.reuses += 1
@@ -227,6 +318,7 @@ class Recycler:
         while self.bytes_used > self.budget_bytes and self._entries:
             victim_key = self._pick_victim()
             victim = self._entries.pop(victim_key)
+            self._resolve_entry(victim_key, victim)
             self.bytes_used -= victim.nbytes
             self.evictions += 1
             self.eviction_reasons[self.policy] += 1
@@ -290,17 +382,154 @@ class Recycler:
         return (_INS, fp, tuple(sorted(ranges)))
 
     def lookup(self, key: tuple) -> Tuple[bool, Any]:
-        """``(found, value)`` for an instruction-intermediate key."""
+        """``(found, value)`` for an instruction-intermediate key.
+
+        The probe's own wall time is charged to the fingerprint's
+        overhead ledger — measured, not estimated, so the net-benefit
+        verdict compares like with like on a loaded box."""
         if not self.enabled:
             return False, None
+        started = time.perf_counter()
         with self._mutex:
             entry = self._get(key)
+            fp = key[1]
+            cell = self._fp_benefit.get(fp)
+            if cell is None:
+                cell = self._fp_benefit[fp] = [0.0, 0.0, 0.0, 0.0]
             if entry is None:
                 self.misses += 1
+                cell[3] += (time.perf_counter() - started) * 1000.0
                 return False, None
             self.hits += 1
+            if fp not in self._fp_hot:
+                self._fp_hot.add(fp)
+                self._fp_cold_stores.pop(fp, None)
+            cell[1] += entry.cost_ms
             self._account_hit(entry)
+            cell[3] += (time.perf_counter() - started) * 1000.0
             return True, entry.value
+
+    def retain_fps(self, fps: Iterable[str]) -> None:
+        """Register a consumer's recyclable instruction fingerprints
+        (called once per standing-query registration). Duplicate
+        fingerprints within one plan count individually — the second
+        occurrence can hit the first occurrence's store within one
+        firing."""
+        with self._mutex:
+            for fp in fps:
+                self._fp_refs[fp] = self._fp_refs.get(fp, 0) + 1
+            self._fp_cold_stores.clear()
+            # a new consumer changes every fingerprint's sharing
+            # economics: all net-benefit verdicts restart from scratch
+            self._fp_benefit.clear()
+            self.census_version += 1
+
+    def release_fps(self, fps: Iterable[str]) -> None:
+        """Drop a removed consumer's fingerprints from the census."""
+        with self._mutex:
+            for fp in fps:
+                n = self._fp_refs.get(fp, 0)
+                if n <= 1:
+                    self._fp_refs.pop(fp, None)
+                else:
+                    self._fp_refs[fp] = n - 1
+            self._fp_benefit.clear()
+            self.census_version += 1
+
+    def plan_should_recycle(self, fps: Iterable[str]) -> bool:
+        """One whole-plan admission decision per firing.
+
+        False only when the census covers *every* fingerprint of the
+        plan and none is shared (or whitelisted hot) — the factory then
+        runs the bare thunk loop with zero per-step recycler calls.
+        Factories cache the answer keyed on :attr:`census_version`, so
+        the steady-state cost of a non-sharing plan is one integer
+        compare per firing."""
+        refs = self._fp_refs
+        if not refs:
+            return True
+        hot = self._fp_hot
+        decided_all = True
+        for fp in fps:
+            n = refs.get(fp)
+            if n is None:
+                if fp in hot:
+                    return True
+                decided_all = False
+                continue
+            if n >= 2 and self._fp_worthwhile(fp):
+                return True
+        if decided_all:
+            self.plan_skips += 1
+            return False
+        return True
+
+    def _fp_worthwhile(self, fp: str) -> bool:
+        """Net-benefit verdict: False once a trusted sample shows the
+        fingerprint's hits save less than the bookkeeping costs."""
+        cell = self._fp_benefit.get(fp)
+        return (cell is None or cell[2] < FP_VERDICT_MIN_ENTRIES
+                or cell[1] >= FP_BENEFIT_MARGIN * (
+                    cell[3] + cell[0] * RECYCLE_OVERHEAD_MS))
+
+    def should_attempt(self, fp: str) -> bool:
+        """Admission check for one recyclable instruction.
+
+        Instruction keys embed the firing's window ranges, so an entry
+        can only ever be reused by a *second* consumer carrying the
+        same fingerprint. With a registration census (engine paths)
+        the sharing check is exact — attempt only fingerprints at
+        least two registered consumers carry — and the net-benefit
+        ledger then retires fingerprints whose hits demonstrably save
+        less than the bookkeeping overhead. Without a census (bare
+        recyclers) fall back to counting stores-without-reuse, cut off
+        at :data:`COLD_FP_STORES`, where one observed hit whitelists
+        the fingerprint. Either way workloads that cannot profit stop
+        paying key-build/lookup/store/eviction overhead — what keeps
+        recycler-on from running slower than recycler-off. Reads are
+        lock-free (racing updates only delay a cutover by a store or
+        two).
+        """
+        refs = self._fp_refs.get(fp)
+        if refs is not None:
+            if refs >= 2 and self._fp_worthwhile(fp):
+                return True
+            self.cold_skips += 1
+            return False
+        if fp in self._fp_hot:
+            return True
+        if self._fp_cold_stores.get(fp, 0) < COLD_FP_STORES:
+            return True
+        self.cold_skips += 1
+        return False
+
+    def attempt_mode(self, fp: str) -> int:
+        """Snapshot of :meth:`should_attempt` for censused
+        fingerprints, so compiled factories can bake a per-step
+        execution mask once per :attr:`census_version` instead of
+        consulting the recycler on every firing.
+
+        Returns ``1`` (attempt recycling), ``0`` (run the bare thunk —
+        unshared or retired by the net-benefit ledger), or ``2``
+        (uncensused: the cold-store cutoff moves without bumping
+        ``census_version``, so the caller must keep calling
+        :meth:`should_attempt` per firing). Every decision that flips
+        a ``0``/``1`` answer for a censused fingerprint — retain,
+        release, ledger verdicts, decay — bumps ``census_version``,
+        which is what makes the snapshot sound."""
+        refs = self._fp_refs.get(fp)
+        if refs is None:
+            return 2
+        if refs >= 2 and self._fp_worthwhile(fp):
+            return 1
+        self.cold_skips += 1
+        return 0
+
+    def reset_cold(self) -> None:
+        """Forget store-count cold verdicts (a new standing query may
+        share fingerprints that had no sharers before)."""
+        with self._mutex:
+            self._fp_cold_stores.clear()
 
     def store(self, key: tuple, value: Any,
               cost_ms: float = 0.0) -> None:
@@ -309,8 +538,71 @@ class Recycler:
         the benefit-density policy weighs)."""
         if not self.enabled:
             return
+        started = time.perf_counter()
         with self._mutex:
             self._put(key, value, key[2], cost_ms)
+            fp = key[1]
+            if fp not in self._fp_hot:
+                self._fp_cold_stores[fp] = \
+                    self._fp_cold_stores.get(fp, 0) + 1
+            cell = self._fp_benefit.get(fp)
+            if cell is None:
+                cell = self._fp_benefit[fp] = [0.0, 0.0, 0.0, 0.0]
+            cell[3] += (time.perf_counter() - started) * 1000.0
+
+    # -- budget autotuning ----------------------------------------------
+
+    def autotune_tick(self) -> None:
+        """Adapt ``budget_bytes`` from observed churn vs. benefit.
+
+        Called by the scheduler once per net evaluation. Every
+        :data:`AUTOTUNE_WINDOW` cache events (evictions + hits) it
+        weighs churn against benefit: when evictions make up a quarter
+        or more of the window — or outnumber hits outright — the budget
+        is thrashing (entries are pushed out before they can repay
+        their ``cost_ms``, and every overflow pays an O(entries)
+        victim scan) so the budget doubles toward the ceiling; when a
+        window passes with zero evictions and the cache is using under
+        a quarter of its budget, the budget halves back toward the
+        configured floor. Decisions are counter-based and therefore
+        deterministic for a given event sequence; the floor/ceiling
+        bracket makes the tuner safe by construction (it can never
+        shrink below what the user configured). This is what closes the
+        "recycler-on must never be slower than recycler-off" bar: the
+        pathological small-budget regime (e.g. 8 KB with thousands of
+        evictions per second) tunes itself out within a few windows.
+        """
+        if not self.autotune or not self.enabled:
+            return
+        with self._mutex:
+            evictions = self.evictions - self._tune_evictions0
+            hits = (self.hits + self.slice_hits) - self._tune_hits0
+            if evictions + hits < AUTOTUNE_WINDOW:
+                return
+            self._tune_evictions0 = self.evictions
+            self._tune_hits0 = self.hits + self.slice_hits
+            thrashing = (evictions > hits
+                         or evictions * 4 >= AUTOTUNE_WINDOW)
+            if thrashing and self.budget_bytes < self.budget_ceiling:
+                self._tune_idle_windows = 0
+                self.budget_bytes = min(self.budget_ceiling,
+                                        self.budget_bytes * 2)
+                self.budget_grows += 1
+            elif (evictions == 0
+                  and self.budget_bytes > self.budget_floor
+                  and self.bytes_used * 4 <= self.budget_bytes):
+                self._tune_idle_windows += 1
+                if self._tune_idle_windows < AUTOTUNE_SHRINK_WINDOWS:
+                    return
+                self._tune_idle_windows = 0
+                self.budget_bytes = max(self.budget_floor,
+                                        self.budget_bytes // 2)
+                self.budget_shrinks += 1
+            else:
+                self._tune_idle_windows = 0
+                return
+            if len(self.budget_trajectory) < 256:
+                self.budget_trajectory.append(self.budget_bytes)
 
     # -- invalidation ---------------------------------------------------
 
@@ -328,6 +620,20 @@ class Recycler:
             if self._dead_scans % REUSE_DECAY_SCANS == 0:
                 for entry in self._entries.values():
                     entry.reuses >>= 1
+                for fp in list(self._fp_cold_stores):
+                    self._fp_cold_stores[fp] >>= 1
+                # decay magnitudes but not the trust count (cell[2]):
+                # halving it below FP_VERDICT_MIN_ENTRIES would re-open
+                # probation on a timer, and one slow-accruing
+                # fingerprint in probation holds its whole plan gate
+                # open; verdicts instead reset on structural change
+                # (retain_fps/release_fps, when the sharing economics
+                # actually move)
+                for cell in self._fp_benefit.values():
+                    cell[0] /= 2.0
+                    cell[1] /= 2.0
+                    cell[3] /= 2.0
+                self.census_version += 1
                 self.reuse_decays += 1
             if not self._entries:
                 return 0
@@ -346,6 +652,7 @@ class Recycler:
                     dead.append(key)
             for key in dead:
                 entry = self._entries.pop(key)
+                self._resolve_entry(key, entry)
                 self.bytes_used -= entry.nbytes
                 self.invalidations += 1
                 self.eviction_reasons["dead"] += 1
@@ -391,11 +698,23 @@ class Recycler:
                 "min_cost_ms": self.min_cost_ms,
                 "admission_rejects": self.admission_rejects,
                 "reuse_decays": self.reuse_decays,
+                "cold_skips": self.cold_skips,
+                "plan_skips": self.plan_skips,
+                "cold_fps": (sum(
+                    1 for v in self._fp_refs.values() if v < 2)
+                    + sum(1 for v in self._fp_cold_stores.values()
+                          if v >= COLD_FP_STORES)),
                 "bytes_saved": self.bytes_saved,
                 "cost_saved_ms": round(self.cost_saved_ms, 3),
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
                 "eviction_reasons": dict(self.eviction_reasons),
+                "autotune": int(self.autotune),
+                "budget_floor": self.budget_floor,
+                "budget_ceiling": self.budget_ceiling,
+                "budget_grows": self.budget_grows,
+                "budget_shrinks": self.budget_shrinks,
+                "budget_trajectory": list(self.budget_trajectory),
             }
 
     def __repr__(self) -> str:

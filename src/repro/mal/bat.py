@@ -36,13 +36,16 @@ class VectorHeap:
     is ``[offset, offset + count)``; ``drop_head`` advances ``offset``.
     """
 
-    __slots__ = ("dtype", "_data", "_offset", "_count")
+    __slots__ = ("dtype", "_data", "_offset", "_count", "reallocs")
 
     def __init__(self, dtype: dt.DataType, capacity: int = 0):
         self.dtype = dtype
         self._data = dtype.empty(max(capacity, 0))
         self._offset = 0
         self._count = 0
+        # buffer replacements since construction; geometric growth keeps
+        # this O(log n) for n appends (asserted in the tier-1 tests)
+        self.reallocs = 0
 
     def __len__(self) -> int:
         return self._count
@@ -59,23 +62,42 @@ class VectorHeap:
         needed = self._offset + self._count + extra
         if needed <= len(self._data):
             return
-        # first try to reclaim the dead prefix, then grow
-        if self._offset > 0 and self._count + extra <= len(self._data):
+        # reclaim the dead prefix only when it is at least half the
+        # allocation: each live element then moves O(1) times amortized.
+        # Compacting on *any* reclaimable slack turns the steady-state
+        # drop_head(1)/append(1) loop of a sliding basket into an O(n)
+        # memmove per append — quadratic overall.
+        if (self._offset * 2 >= len(self._data)
+                and self._count + extra <= len(self._data)):
             self._compact()
             return
-        new_cap = max(_MIN_CAPACITY, len(self._data))
+        # geometric (>=2x) growth keeps reallocations logarithmic
+        new_cap = max(_MIN_CAPACITY, 2 * len(self._data))
         while new_cap < self._count + extra:
             new_cap *= 2
         fresh = self.dtype.empty(new_cap)
         fresh[:self._count] = self.view()
         self._data = fresh
         self._offset = 0
+        self.reallocs += 1
 
     def _compact(self) -> None:
         if self._offset == 0:
             return
         self._data[:self._count] = self.view()
         self._offset = 0
+
+    @classmethod
+    def _adopt(cls, dtype: dt.DataType, array: np.ndarray) -> "VectorHeap":
+        """Wrap a freshly-allocated storage array as the backing store —
+        zero copy. The caller transfers ownership of *array*."""
+        heap = cls.__new__(cls)
+        heap.dtype = dtype
+        heap._data = array
+        heap._offset = 0
+        heap._count = len(array)
+        heap.reallocs = 0
+        return heap
 
     def append(self, value: Any) -> None:
         self._ensure_room(1)
@@ -84,7 +106,9 @@ class VectorHeap:
 
     def extend(self, values) -> None:
         # fast path: already a storage array of the target dtype (the
-        # common case after batch ingest staging) — no conversion pass
+        # common case after batch ingest staging) — no staging copy.
+        # Contiguity does not matter: the slice assignment below gathers
+        # strided sources directly into the heap
         if not (isinstance(values, np.ndarray)
                 and values.dtype == self.dtype.np_dtype):
             if self.dtype.is_string:
@@ -161,6 +185,25 @@ class BAT:
         bat = cls(dtype)
         bat._heap.extend(array)
         return bat
+
+    @classmethod
+    def adopt_array(cls, dtype: dt.DataType, array: np.ndarray) -> "BAT":
+        """Wrap a freshly-computed storage array without copying.
+
+        Ownership transfers to the BAT — the caller must not touch the
+        array afterwards. Falls back to :meth:`from_array` (a copy) when
+        the array is a view, read-only, or of the wrong dtype, so kernel
+        results can use it unconditionally.
+        """
+        if (isinstance(array, np.ndarray) and array.ndim == 1
+                and array.dtype == dtype.np_dtype
+                and array.flags.owndata and array.flags.writeable):
+            bat = cls.__new__(cls)
+            bat.dtype = dtype
+            bat.hseqbase = 0
+            bat._heap = VectorHeap._adopt(dtype, array)
+            return bat
+        return cls.from_array(dtype, array)
 
     # -- basic accessors ---------------------------------------------
 

@@ -28,6 +28,7 @@ SIGMOD 2009), adapted to DataCell's continuous plans.
 from __future__ import annotations
 
 import hashlib
+import weakref
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.mal.program import Const, Instruction, MALProgram, Var
@@ -154,6 +155,56 @@ def program_fingerprint(program: MALProgram) -> str:
     return _digest("|".join(parts))
 
 
+# ---------------------------------------------------------------------
+# per-plan digest cache
+# ---------------------------------------------------------------------
+#
+# A factory's program is static after registration, yet fingerprints
+# used to be recomputed wherever they were needed (factory init, plan
+# identity, engine registration). The memo below computes the full
+# per-instruction analysis at most once per (program, version); the
+# program's ``version`` counter invalidates the entry if the program is
+# ever mutated after being fingerprinted. Keyed weakly so dropped
+# queries do not pin their programs.
+
+_FP_CACHE: "weakref.WeakKeyDictionary[MALProgram, tuple]" = \
+    weakref.WeakKeyDictionary()
+_FP_STATS = {"hits": 0, "misses": 0}
+
+
+def _cached_analysis(program: MALProgram) -> tuple:
+    version = getattr(program, "version", None)
+    entry = _FP_CACHE.get(program)
+    if entry is not None and entry[0] == version:
+        _FP_STATS["hits"] += 1
+        return entry
+    _FP_STATS["misses"] += 1
+    fps = fingerprint_program(program)
+    parts = ["-" if info is None else info.fp for info in fps]
+    entry = (version, fps, _digest("|".join(parts)))
+    _FP_CACHE[program] = entry
+    return entry
+
+
+def cached_fingerprints(program: MALProgram
+                        ) -> List[Optional[InstructionFP]]:
+    """Memoized :func:`fingerprint_program` (treat the list as
+    read-only — it is shared across callers)."""
+    return _cached_analysis(program)[1]
+
+
+def cached_program_fingerprint(program: MALProgram) -> str:
+    """Memoized :func:`program_fingerprint`."""
+    return _cached_analysis(program)[2]
+
+
+def fingerprint_cache_stats() -> Dict[str, int]:
+    """Process-wide digest-cache counters (monitor ``.interp`` pane)."""
+    return {"fp_cache_hits": _FP_STATS["hits"],
+            "fp_cache_misses": _FP_STATS["misses"],
+            "fp_cache_entries": len(_FP_CACHE)}
+
+
 def emit_fingerprint(plan_fp: str,
                      ranges: Iterable[Tuple[str, int, int]]) -> str:
     """Digest identifying one emit payload of a chained plan.
@@ -173,6 +224,33 @@ def emit_fingerprint(plan_fp: str,
     for name, lo, hi in sorted(ranges):
         parts.append(f"{str(name).lower()}:{lo}:{hi}")
     return _digest("|".join(parts))
+
+
+class EmitStamper:
+    """Amortized :func:`emit_fingerprint` for one producing plan.
+
+    A factory stamps every firing with the same plan fingerprint; only
+    the window oid-ranges vary. Pre-hashing the plan prefix once and
+    cloning the hash state per firing (``hashlib``'s ``copy``) means
+    each stamp digests only the few bytes of range text — and produces
+    exactly the digest :func:`emit_fingerprint` would, so stamps from
+    amortized and unamortized producers always match.
+    """
+
+    __slots__ = ("plan_fp", "_base", "stamps")
+
+    def __init__(self, plan_fp: str):
+        self.plan_fp = plan_fp
+        self._base = hashlib.sha1(plan_fp.encode("utf-8"))
+        self.stamps = 0
+
+    def stamp(self, ranges: Iterable[Tuple[str, int, int]]) -> str:
+        digest = self._base.copy()
+        for name, lo, hi in sorted(ranges):
+            digest.update(
+                f"|{str(name).lower()}:{lo}:{hi}".encode("utf-8"))
+        self.stamps += 1
+        return digest.hexdigest()[:16]
 
 
 def shared_prefix(programs: Sequence[MALProgram]) -> List[str]:

@@ -66,6 +66,27 @@ def has_opcode(name: str) -> bool:
     return name in _OPCODES
 
 
+def lookup_opcode(name: str, line: Optional[int] = None,
+                  plan: str = "") -> OpImpl:
+    """Resolve *name* to its implementation, exactly once.
+
+    ``calc.*`` opcodes are lazily backed by the scalar-function
+    registry (:func:`resolve_opcode`); everything else must already be
+    registered. A miss raises :class:`MALError` naming the opcode and,
+    when known, the plan line it came from — both the interpreter and
+    the slot compiler (:mod:`repro.mal.compiler`) resolve through
+    here.
+    """
+    impl = _OPCODES.get(name)
+    if impl is None and name.startswith("calc."):
+        impl = resolve_opcode(name)
+    if impl is None:
+        where = f" (line {line}" + (f" of {plan})" if plan else ")") \
+            if line is not None else (f" (plan {plan})" if plan else "")
+        raise MALError(f"unknown opcode {name!r}{where}")
+    return impl
+
+
 class MALInterpreter:
     """Straight-line interpreter with a variable environment per run.
 
@@ -92,58 +113,60 @@ class MALInterpreter:
                      and len(self.fingerprints) == len(program.instructions))
         for i, instr in enumerate(program.instructions):
             if recycling:
-                self._recycled_step(instr, self.fingerprints[i], env)
+                self._recycled_step(instr, self.fingerprints[i], env, i)
             else:
-                self._step(instr, env)
+                self._step(instr, env, i)
         return self.ctx.result
 
     def _recycled_step(self, instr: Instruction, info,
-                       env: Dict[str, Any]) -> None:
+                       env: Dict[str, Any],
+                       line: Optional[int] = None) -> None:
         if info is None or not info.recyclable:
-            self._step(instr, env)
+            self._step(instr, env, line)
+            return
+        if not self.recycler.should_attempt(info.fp):
+            self._step(instr, env, line)
             return
         try:
             ranges = [(s,) + self.window_ranges[s] for s in info.streams]
         except KeyError:
             # a lineage stream this run has no window for (should not
             # happen for factory programs) — execute without caching
-            self._step(instr, env)
+            self._step(instr, env, line)
             return
         key = self.recycler.instruction_key(info.fp, ranges)
         found, value = self.recycler.lookup(key)
         if found:
             if self.recycler.verify:
-                self._verify_hit(instr, env, value)
+                self._verify_hit(instr, env, value, line)
             self._bind(instr, value, env)
             return
         # bracket the evaluation: the wall time is the entry's
         # recompute cost, which the benefit-density policy weighs
         # against its size at eviction time
         started = time.perf_counter()
-        value = self._execute(instr, env)
+        value = self._execute(instr, env, line)
         cost_ms = (time.perf_counter() - started) * 1000.0
         self._bind(instr, value, env)
         self.recycler.store(key, value, cost_ms=cost_ms)
 
     def _verify_hit(self, instr: Instruction, env: Dict[str, Any],
-                    cached: Any) -> None:
+                    cached: Any, line: Optional[int] = None) -> None:
         from repro.core.recycler import payloads_equal
 
-        fresh = self._execute(instr, env)
+        fresh = self._execute(instr, env, line)
         if not payloads_equal(cached, fresh):
             raise MALError(
                 f"recycler verify failed for {instr.opcode}: cached "
                 f"{cached!r} != fresh {fresh!r}")
 
-    def _step(self, instr: Instruction, env: Dict[str, Any]) -> None:
-        self._bind(instr, self._execute(instr, env), env)
+    def _step(self, instr: Instruction, env: Dict[str, Any],
+              line: Optional[int] = None) -> None:
+        self._bind(instr, self._execute(instr, env, line), env)
 
-    def _execute(self, instr: Instruction, env: Dict[str, Any]) -> Any:
-        if instr.opcode.startswith("calc."):
-            resolve_opcode(instr.opcode)
-        impl = _OPCODES.get(instr.opcode)
-        if impl is None:
-            raise MALError(f"unknown opcode {instr.opcode!r}")
+    def _execute(self, instr: Instruction, env: Dict[str, Any],
+                 line: Optional[int] = None) -> Any:
+        impl = lookup_opcode(instr.opcode, line)
         args = [self._value(a, env) for a in instr.args]
         return impl(self.ctx, *args)
 
@@ -515,7 +538,10 @@ def _ensure_calc(name: str) -> None:
         return _dynamic_scalar_call(ctx, fn_name, *args)
 
 
-def resolve_opcode(name: str) -> None:
-    """Lazily register ``calc.*`` opcodes backed by scalar functions."""
+def resolve_opcode(name: str) -> Optional[OpImpl]:
+    """Lazily register ``calc.*`` opcodes backed by scalar functions;
+    returns the registered implementation (None for non-calc names
+    that are not registered)."""
     if name.startswith("calc.") and name not in _OPCODES:
         _ensure_calc(name)
+    return _OPCODES.get(name)

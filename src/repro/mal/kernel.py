@@ -185,7 +185,7 @@ def const_column(dtype: dt.DataType, value: Scalar, n: int) -> BAT:
         out = BAT(dtype)
         out.extend([value] * n)
         return out
-    return BAT.from_array(dtype, np.full(n, value, dtype=dtype.np_dtype))
+    return BAT.adopt_array(dtype, np.full(n, value, dtype=dtype.np_dtype))
 
 
 # ---------------------------------------------------------------------
@@ -762,6 +762,26 @@ def calc_arith(op: str, a, b) -> BAT:
     zero yields nil (the streaming engine must not abort a standing query
     on one bad tuple — the row simply produces NULL).
     """
+    if op in ("+", "-", "*"):
+        # Pure-float fast path: NaN (the FLOAT nil) propagates through
+        # + - * by itself, so float columns against float columns or
+        # bare numeric scalars need no nil-mask pass at all.
+        x = y = None
+        if type(a) is BAT and a.dtype is dt.FLOAT:
+            x = a.values
+        elif type(a) in (int, float):
+            x = a
+        if type(b) is BAT and b.dtype is dt.FLOAT:
+            y = b.values
+        elif type(b) in (int, float):
+            y = b
+        x_arr = isinstance(x, np.ndarray)
+        y_arr = isinstance(y, np.ndarray)
+        if (x is not None and y is not None and (x_arr or y_arr)
+                and not (x_arr and y_arr and len(x) != len(y))):
+            res = (x + y) if op == "+" else (x - y) if op == "-" \
+                else (x * y)
+            return BAT.adopt_array(dt.FLOAT, res)
     av, bv, amask, bmask, atype, btype, n = _broadcast(a, b)
     if av is None or bv is None:  # NULL literal operand
         some = atype or btype or dt.FLOAT
@@ -772,6 +792,30 @@ def calc_arith(op: str, a, b) -> BAT:
             return _concat_strings(av, bv, amask, bmask, n)
         raise KernelError(f"arithmetic {op!r} over strings")
     out_type = dt.FLOAT if op == "/" else dt.common_type(atype, btype)
+    if op in ("+", "-", "*"):
+        # Fast path: compute in the operands' native dtype — no errstate
+        # context, no float64 round-trip, no extra broadcast/copy. Falls
+        # through to the generic path whenever numpy's promotion does not
+        # land exactly on the storage dtype (e.g. int8 boolean operands),
+        # which keeps legacy semantics for every odd case.
+        res = (av + bv) if op == "+" else (av - bv) if op == "-" \
+            else (av * bv)
+        rdt = getattr(res, "dtype", None)
+        if getattr(res, "shape", None) == (n,) and (
+                (rdt == np.float64 and out_type is dt.FLOAT)
+                or (rdt == np.int64 and out_type is not dt.FLOAT)):
+            nil = None
+            if amask is not None and amask.any():
+                nil = amask if bmask is None else (amask | bmask)
+            elif bmask is not None and bmask.any():
+                nil = bmask
+            if out_type is dt.FLOAT:
+                if nil is not None:
+                    res[nil] = np.nan
+                return BAT.adopt_array(dt.FLOAT, res)
+            if nil is not None:
+                res[nil] = dt.INT_NIL
+            return BAT.adopt_array(out_type, res)
     af = np.asarray(av, dtype=np.float64)
     bf = np.asarray(bv, dtype=np.float64)
     nil = np.zeros(n, dtype=bool)
@@ -797,11 +841,11 @@ def calc_arith(op: str, a, b) -> BAT:
     res = np.broadcast_to(res, (n,)).astype(np.float64).copy()
     if out_type is dt.FLOAT:
         res[nil] = np.nan
-        return BAT.from_array(dt.FLOAT, res)
+        return BAT.adopt_array(dt.FLOAT, res)
     res[nil] = 0  # keep the int cast clean; nils rewritten below
     out = res.astype(np.int64)
     out[nil] = dt.INT_NIL
-    return BAT.from_array(out_type, out)
+    return BAT.adopt_array(out_type, out)
 
 
 def _concat_strings(av, bv, amask, bmask, n: int) -> BAT:
@@ -823,10 +867,10 @@ def calc_neg(a: BAT) -> BAT:
         raise KernelError("negation over non-numeric column")
     mask = a.nil_mask()
     if a.dtype is dt.FLOAT:
-        return BAT.from_array(dt.FLOAT, -a.values)
+        return BAT.adopt_array(dt.FLOAT, -a.values)
     out = -a.values
     out[mask] = dt.INT_NIL
-    return BAT.from_array(dt.INT, out)
+    return BAT.adopt_array(dt.INT, out)
 
 
 def _compare_array(dtype: dt.DataType, values: np.ndarray, op: str,
@@ -887,24 +931,24 @@ def calc_cmp(op: str, a, b) -> BAT:
         vals = [_str_cmp(op, x, y) for x, y in pairs]
         res[np.nonzero(ok)[0]] = vals
     else:
-        af = np.asarray(av, dtype=np.float64)
-        bf = np.asarray(bv, dtype=np.float64)
-        with np.errstate(invalid="ignore"):
-            if op == "==":
-                res = af == bf
-            elif op == "!=":
-                res = af != bf
-            elif op == "<":
-                res = af < bf
-            elif op == "<=":
-                res = af <= bf
-            elif op == ">":
-                res = af > bf
-            else:
-                res = af >= bf
+        # native-dtype compare: positions under the nil mask produce
+        # garbage (INT_NIL sentinels, NaN) but are rewritten below, so
+        # the float64 round-trip and errstate guard are pure overhead
+        if op == "==":
+            res = av == bv
+        elif op == "!=":
+            res = av != bv
+        elif op == "<":
+            res = av < bv
+        elif op == "<=":
+            res = av <= bv
+        elif op == ">":
+            res = av > bv
+        else:
+            res = av >= bv
         res = np.broadcast_to(res, (n,))
     out = np.where(nil, np.int8(-1), res.astype(np.int8))
-    return BAT.from_array(dt.BOOLEAN, out.astype(np.int8))
+    return BAT.adopt_array(dt.BOOLEAN, out.astype(np.int8))
 
 
 def _str_cmp(op: str, x, y) -> bool:
@@ -926,7 +970,7 @@ def calc_and(a: BAT, b: BAT) -> BAT:
     x, y = a.values, b.values
     out = np.where((x == 0) | (y == 0), np.int8(0),
                    np.where((x == -1) | (y == -1), np.int8(-1), np.int8(1)))
-    return BAT.from_array(dt.BOOLEAN, out.astype(np.int8))
+    return BAT.adopt_array(dt.BOOLEAN, out.astype(np.int8))
 
 
 def calc_or(a: BAT, b: BAT) -> BAT:
@@ -934,14 +978,14 @@ def calc_or(a: BAT, b: BAT) -> BAT:
     x, y = a.values, b.values
     out = np.where((x == 1) | (y == 1), np.int8(1),
                    np.where((x == -1) | (y == -1), np.int8(-1), np.int8(0)))
-    return BAT.from_array(dt.BOOLEAN, out.astype(np.int8))
+    return BAT.adopt_array(dt.BOOLEAN, out.astype(np.int8))
 
 
 def calc_not(a: BAT) -> BAT:
     """Kleene NOT (unknown stays unknown)."""
     x = a.values
     out = np.where(x == -1, np.int8(-1), (1 - x).astype(np.int8))
-    return BAT.from_array(dt.BOOLEAN, out.astype(np.int8))
+    return BAT.adopt_array(dt.BOOLEAN, out.astype(np.int8))
 
 
 def calc_isnil(a: BAT) -> BAT:

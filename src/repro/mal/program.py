@@ -108,6 +108,10 @@ class MALProgram:
         self.kind = kind
         self.instructions: List[Instruction] = []
         self._counter = 0
+        # bumped on every structural mutation; the fingerprint digest
+        # cache and the slot compiler key their memos on it so a stale
+        # compilation can never be served for an edited program
+        self.version = 0
 
     def fresh(self, prefix: str = "X") -> Var:
         self._counter += 1
@@ -119,6 +123,7 @@ class MALProgram:
         out = [self.fresh() for _ in range(results)]
         self.instructions.append(
             Instruction([v.name for v in out], opcode, list(args), comment))
+        self.version += 1
         if results == 0:
             return None
         if results == 1:
@@ -127,9 +132,11 @@ class MALProgram:
 
     def append(self, instruction: Instruction) -> None:
         self.instructions.append(instruction)
+        self.version += 1
 
     def prepend(self, instruction: Instruction) -> None:
         self.instructions.insert(0, instruction)
+        self.version += 1
 
     def opcodes(self) -> List[str]:
         return [i.opcode for i in self.instructions]
@@ -144,9 +151,9 @@ class MALProgram:
         identical sources share a fingerprint; see
         :mod:`repro.mal.fingerprint` for the canonicalization rules.
         """
-        from repro.mal.fingerprint import program_fingerprint
+        from repro.mal.fingerprint import cached_program_fingerprint
 
-        return program_fingerprint(self)
+        return cached_program_fingerprint(self)
 
     def copy(self) -> "MALProgram":
         out = MALProgram(self.name, self.kind)

@@ -57,6 +57,43 @@ class TestVectorHeap:
         heap.extend(arr)
         assert heap.view().tolist() == ["a", None]
 
+    def test_appends_do_log_n_reallocations(self):
+        heap = VectorHeap(dt.INT)
+        n = 100000
+        for i in range(n):
+            heap.append(i)
+        # geometric (>=2x) growth: reallocations are O(log n), and a
+        # ceiling of 2*log2(n) leaves slack for the 16-slot floor
+        import math
+        assert 1 <= heap.reallocs <= 2 * math.log2(n)
+        assert heap.view().tolist() == list(range(n))
+
+    def test_sliding_drop_append_is_amortized(self, monkeypatch):
+        """The steady-state drop_head(1)/append(1) loop of a draining
+        basket must not compact on every append (that is O(n) moved
+        per element — quadratic overall)."""
+        compactions = {"n": 0}
+        original = VectorHeap._compact
+
+        def counting(self):
+            compactions["n"] += 1
+            original(self)
+
+        monkeypatch.setattr(VectorHeap, "_compact", counting)
+        window = 512
+        heap = VectorHeap(dt.INT)
+        heap.extend(np.arange(window, dtype=np.int64))
+        iterations = 4096
+        for i in range(iterations):
+            heap.drop_head(1)
+            heap.append(window + i)
+        assert heap.view().tolist() == list(
+            range(iterations, iterations + window))
+        # each compaction frees at least half the capacity, so the
+        # count is ~ iterations / capacity, not ~ iterations
+        assert compactions["n"] <= iterations // window + 8
+        assert heap.reallocs <= 8
+
 
 class TestBATConstruction:
     def test_from_values_int(self):

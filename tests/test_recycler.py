@@ -637,3 +637,281 @@ class TestEquivalence:
             return names
 
         assert_recycler_transparent(setup)
+
+
+class TestBudgetAutotuner:
+    """The adaptive budget: grow on eviction churn, shrink when idle,
+    never leave the [floor, ceiling] bracket."""
+
+    def _active(self, recycler, evictions, hits):
+        """Synthesize one adaptation window's worth of cache events."""
+        recycler.evictions += evictions
+        recycler.hits += hits
+
+    def test_grows_on_thrash(self):
+        r = Recycler(budget_bytes=8192, autotune=True)
+        self._active(r, evictions=300, hits=10)
+        r.autotune_tick()
+        assert r.budget_bytes == 16384
+        assert r.budget_grows == 1
+        assert r.budget_trajectory == [8192, 16384]
+
+    def test_no_decision_below_activity_window(self):
+        r = Recycler(budget_bytes=8192, autotune=True)
+        self._active(r, evictions=100, hits=10)
+        r.autotune_tick()
+        assert r.budget_bytes == 8192
+
+    def test_never_exceeds_ceiling(self):
+        r = Recycler(budget_bytes=8192, autotune=True,
+                     autotune_ceiling_bytes=20000)
+        for _ in range(10):
+            self._active(r, evictions=300, hits=0)
+            r.autotune_tick()
+        assert r.budget_bytes <= 20000
+
+    def test_shrinks_back_to_floor_when_idle(self):
+        from repro.core.recycler import AUTOTUNE_SHRINK_WINDOWS
+
+        r = Recycler(budget_bytes=8192, autotune=True)
+        self._active(r, evictions=300, hits=10)
+        r.autotune_tick()
+        assert r.budget_bytes == 16384
+        # one idle window is not enough (hysteresis: shrinking on the
+        # first idle window would oscillate against the thrash signal)
+        self._active(r, evictions=0, hits=300)
+        r.autotune_tick()
+        assert r.budget_bytes == 16384
+        # a sustained idle streak walks it back to the floor
+        for _ in range(AUTOTUNE_SHRINK_WINDOWS):
+            self._active(r, evictions=0, hits=300)
+            r.autotune_tick()
+        assert r.budget_bytes == 8192
+        assert r.budget_shrinks == 1
+        # and never below the configured floor
+        for _ in range(AUTOTUNE_SHRINK_WINDOWS + 1):
+            self._active(r, evictions=0, hits=300)
+            r.autotune_tick()
+        assert r.budget_bytes == 8192
+
+    def test_low_churn_window_holds_budget(self):
+        r = Recycler(budget_bytes=8192, autotune=True)
+        # a trickle of evictions (under a quarter of the window, fewer
+        # than hits) is healthy steady-state turnover, not thrash
+        self._active(r, evictions=30, hits=300)
+        r.autotune_tick()
+        assert r.budget_bytes == 8192
+        assert r.budget_grows == 0 and r.budget_shrinks == 0
+
+    def test_off_by_default(self):
+        r = Recycler(budget_bytes=8192)
+        self._active(r, evictions=1000, hits=0)
+        r.autotune_tick()
+        assert r.budget_bytes == 8192
+        assert not r.autotune
+
+    def test_engine_autotunes_starved_budget(self):
+        """An 8 KB budget under a multi-query workload must tune
+        itself up (the E11c pathology: thousands of evictions at a
+        budget too small to hold one window slice)."""
+        engine = DataCellEngine(recycler_budget_bytes=8192,
+                                recycler_autotune=True)
+        engine.execute("CREATE STREAM s (k INT, v FLOAT)")
+        for i in range(6):
+            engine.register_continuous(
+                "SELECT k, sum(v) FROM s [RANGE 32 SLIDE 8] "
+                "GROUP BY k", mode="reeval", name=f"q{i}")
+        rows = [(i % 4, float(i % 23)) for i in range(2000)]
+        engine.attach_source("s", RateSource(rows, rate=100000))
+        engine.run_until_drained()
+        assert not engine.scheduler.failed, engine.scheduler.failed
+        assert engine.recycler.budget_grows >= 1
+        assert engine.recycler.budget_bytes > 8192
+        stats = engine.recycler.stats()
+        assert stats["budget_trajectory"][0] == 8192
+
+
+class TestAdmissionCensus:
+    """Registration-time sharing census + per-fingerprint net-benefit
+    verdicts: the machinery that keeps recycler-on from paying
+    store/probe overhead on work nothing will ever reuse."""
+
+    def _resolve_cheap_lifecycles(self, rec, fp, n):
+        """Store *n* entries under *fp* with negligible recompute cost,
+        never hit them, and resolve them via dead eviction — the
+        fastest route to a trusted "not worth caching" verdict."""
+        for i in range(n):
+            key = rec.instruction_key(fp, [("s", i, i + 1)])
+            rec.store(key, int_bat([i]), cost_ms=0.00001)
+        rec.evict_dead({"s": n + 1})
+
+    def test_census_refcounts(self):
+        rec = Recycler()
+        rec.retain_fps(["a", "b"])
+        rec.retain_fps(["a"])
+        assert rec._fp_refs == {"a": 2, "b": 1}
+        rec.release_fps(["a"])
+        assert rec._fp_refs == {"a": 1, "b": 1}
+        rec.release_fps(["a", "b"])
+        assert rec._fp_refs == {}
+
+    def test_census_version_bumps_on_structural_change(self):
+        rec = Recycler()
+        v0 = rec.census_version
+        rec.retain_fps(["a"])
+        v1 = rec.census_version
+        assert v1 > v0
+        rec.release_fps(["a"])
+        assert rec.census_version > v1
+
+    def test_censused_unshared_fp_is_skipped(self):
+        rec = Recycler()
+        rec.retain_fps(["solo"])
+        assert not rec.should_attempt("solo")
+        assert rec.stats()["cold_skips"] == 1
+
+    def test_censused_shared_fp_is_attempted(self):
+        rec = Recycler()
+        rec.retain_fps(["dup"])
+        rec.retain_fps(["dup"])
+        assert rec.should_attempt("dup")
+
+    def test_uncensused_falls_back_to_cold_store_cutoff(self):
+        from repro.core.recycler import COLD_FP_STORES
+        rec = Recycler()
+        for i in range(COLD_FP_STORES):
+            key = rec.instruction_key("cold", [("s", i, i + 1)])
+            assert rec.should_attempt("cold")
+            rec.store(key, int_bat([i]))
+        assert not rec.should_attempt("cold")
+        # one observed reuse whitelists the fingerprint again
+        hot_key = rec.instruction_key("hot", [("s", 0, 1)])
+        rec.store(hot_key, int_bat([1]))
+        assert rec.lookup(hot_key)[0]
+        assert rec.should_attempt("hot")
+
+    def test_plan_gate_closes_only_when_all_fps_unshared(self):
+        rec = Recycler()
+        rec.retain_fps(["x", "y"])
+        before = rec.plan_skips
+        assert not rec.plan_should_recycle(["x", "y"])
+        assert rec.plan_skips == before + 1
+        rec.retain_fps(["y"])           # second consumer shares y
+        assert rec.plan_should_recycle(["x", "y"])
+
+    def test_plan_gate_open_without_census(self):
+        rec = Recycler()
+        assert rec.plan_should_recycle(["anything"])
+
+    def test_cheap_verdict_retires_shared_fp(self):
+        from repro.core.recycler import FP_VERDICT_MIN_ENTRIES
+        rec = Recycler()
+        rec.retain_fps(["cheap"])
+        rec.retain_fps(["cheap"])
+        assert rec.should_attempt("cheap")
+        version = rec.census_version
+        self._resolve_cheap_lifecycles(rec, "cheap",
+                                       FP_VERDICT_MIN_ENTRIES)
+        assert not rec.should_attempt("cheap")
+        assert not rec.plan_should_recycle(["cheap"])
+        # the verdict re-opened every cached plan gate
+        assert rec.census_version > version
+
+    def test_costly_reused_fp_stays_admitted(self):
+        from repro.core.recycler import FP_VERDICT_MIN_ENTRIES
+        rec = Recycler()
+        rec.retain_fps(["rich"])
+        rec.retain_fps(["rich"])
+        for i in range(FP_VERDICT_MIN_ENTRIES):
+            key = rec.instruction_key("rich", [("s", i, i + 1)])
+            rec.store(key, int_bat([i]), cost_ms=5.0)
+            assert rec.lookup(key)[0]           # hit: credits 5ms saved
+        rec.evict_dead({"s": FP_VERDICT_MIN_ENTRIES + 1})
+        assert rec.should_attempt("rich")
+        assert rec.plan_should_recycle(["rich"])
+
+    def test_verdict_sticky_across_decay(self):
+        from repro.core.recycler import (FP_VERDICT_MIN_ENTRIES,
+                                         REUSE_DECAY_SCANS)
+        rec = Recycler()
+        rec.retain_fps(["cheap"])
+        rec.retain_fps(["cheap"])
+        self._resolve_cheap_lifecycles(rec, "cheap",
+                                       FP_VERDICT_MIN_ENTRIES)
+        assert not rec.should_attempt("cheap")
+        for _ in range(2 * REUSE_DECAY_SCANS):
+            rec.evict_dead({})
+        assert rec.reuse_decays >= 2
+        # magnitude decay must not re-open a trusted cheap verdict
+        assert not rec.should_attempt("cheap")
+
+    def test_new_consumer_resets_verdicts(self):
+        from repro.core.recycler import FP_VERDICT_MIN_ENTRIES
+        rec = Recycler()
+        rec.retain_fps(["cheap"])
+        rec.retain_fps(["cheap"])
+        self._resolve_cheap_lifecycles(rec, "cheap",
+                                       FP_VERDICT_MIN_ENTRIES)
+        assert not rec.should_attempt("cheap")
+        # a third consumer changes the economics: probation restarts
+        rec.retain_fps(["cheap"])
+        assert rec.should_attempt("cheap")
+
+    def test_engine_registers_and_releases_census(self):
+        engine = DataCellEngine()
+        engine.execute("CREATE STREAM s (k INT, v FLOAT)")
+        q = engine.register_continuous(
+            "SELECT k, v FROM s WHERE v > 1", mode="reeval", name="q0")
+        fps = q.factory.recycle_fps
+        assert fps, "plan has no recyclable fingerprints"
+        assert all(engine.recycler._fp_refs.get(fp) for fp in fps)
+        engine.remove_query("q0")
+        assert not any(engine.recycler._fp_refs.get(fp) for fp in fps)
+
+    def test_attempt_mode_snapshots_admission(self):
+        rec = Recycler()
+        assert rec.attempt_mode("fp_uncensused") == 2
+        rec.retain_fps(["fp_shared", "fp_solo"])
+        rec.retain_fps(["fp_shared"])
+        assert rec.attempt_mode("fp_shared") == 1
+        assert rec.attempt_mode("fp_solo") == 0
+        # a ledger retirement flips the snapshot answer and bumps
+        # census_version so cached masks get rebuilt
+        before = rec.census_version
+        from repro.core.recycler import FP_VERDICT_MIN_ENTRIES
+        self._resolve_cheap_lifecycles(rec, "fp_shared",
+                                       FP_VERDICT_MIN_ENTRIES)
+        assert rec.census_version > before
+        assert rec.attempt_mode("fp_shared") == 0
+
+    def test_compiled_factory_gate_mask_skips_retired_steps(self):
+        engine = DataCellEngine()
+        engine.execute("CREATE STREAM s (k INT, v FLOAT)")
+        for i in range(2):
+            engine.register_continuous(
+                "SELECT k, v * 2 FROM s [RANGE 8 SLIDE 8] WHERE v > 1",
+                mode="reeval", name=f"q{i}")
+        rows = [(i % 3, float(i % 7)) for i in range(800)]
+        engine.attach_source("s", RateSource(rows, rate=100000))
+        engine.run_until_drained()
+        for f in engine.scheduler.factories:
+            if f.compiled is None or not f.recycle_fps:
+                continue
+            assert f._gate_modes is not None
+            assert len(f._gate_modes) == len(f.compiled.steps)
+            # every fingerprint is censused here, so no step should
+            # be left on the per-fire should_attempt path
+            assert 2 not in f._gate_modes
+
+    def test_single_query_plan_gate_avoids_all_cache_work(self):
+        engine = DataCellEngine()
+        engine.execute("CREATE STREAM s (k INT, v FLOAT)")
+        engine.register_continuous(
+            "SELECT k, v * 2 FROM s [RANGE 8 SLIDE 8] WHERE v > 1",
+            mode="reeval", name="q0")
+        rows = [(i % 3, float(i % 7)) for i in range(400)]
+        engine.attach_source("s", RateSource(rows, rate=100000))
+        engine.run_until_drained()
+        stats = engine.recycler.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        assert stats["plan_skips"] >= 1
