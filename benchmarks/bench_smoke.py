@@ -9,11 +9,13 @@ Runs the experiments the stacked PRs track for regressions — E2
 worker-pool parallel ablation), E9 (basket ingest/retention
 mechanics), E10n (network-edge loopback throughput), E11c
 (chained-network recycling, eviction-policy ablation), E13
-(Z-set delta execution vs incremental vs re-evaluation) and E14
+(Z-set delta execution vs incremental vs re-evaluation), E14
 (interpreted vs slot-compiled per-fire overhead, recycler admission
-ablation) — and writes ``BENCH_E2.json``, ``BENCH_E8.json``,
-``BENCH_E9.json``, ``BENCH_E10.json``, ``BENCH_E11.json``,
-``BENCH_E13.json`` and ``BENCH_E14.json`` to the repo root (or
+ablation) and E15 (durable-log ingest throughput by write discipline,
+cold-start recovery time) — and writes ``BENCH_E2.json``,
+``BENCH_E8.json``, ``BENCH_E9.json``, ``BENCH_E10.json``,
+``BENCH_E11.json``, ``BENCH_E13.json``, ``BENCH_E14.json`` and
+``BENCH_E15.json`` to the repo root (or
 ``--outdir``). CI runs ``--quick`` so drift is caught without a full
 experiment sweep; ``repro.bench.reporting.compare_runs`` diffs two
 archives.
@@ -31,7 +33,7 @@ sys.path.insert(0, os.path.dirname(os.path.dirname(
 from benchmarks import (bench_e2_multiquery, bench_e8_scheduler,
                         bench_e9_baskets, bench_e10_net,
                         bench_e11_chain, bench_e13_delta,
-                        bench_e14_interp)
+                        bench_e14_interp, bench_e15_durability)
 from repro.bench.reporting import save_json
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -89,6 +91,15 @@ def run_e14(quick: bool):
                                            repeats=repeats)
 
 
+def run_e15(quick: bool):
+    nrows = 20_000 if quick else bench_e15_durability.N_ROWS
+    repeats = 1 if quick else 3
+    sizes = [2_000, 8_000] if quick \
+        else bench_e15_durability.RECOVERY_SIZES
+    return [bench_e15_durability.run_ingest_table(nrows, repeats),
+            bench_e15_durability.run_recovery_table(sizes)]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -103,7 +114,8 @@ def main(argv=None) -> int:
                          ("BENCH_E10.json", run_e10),
                          ("BENCH_E11.json", run_e11),
                          ("BENCH_E13.json", run_e13),
-                         ("BENCH_E14.json", run_e14)):
+                         ("BENCH_E14.json", run_e14),
+                         ("BENCH_E15.json", run_e15)):
         tables = runner(args.quick)
         for table in tables:
             print()

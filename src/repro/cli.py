@@ -33,6 +33,9 @@ runtime:
                    policy, chain stamps/hits, bytes & ms saved)
 ``.interp``        plan-execution pane (slot-compiler counters,
                    per-opcode profile, autotuner budget trajectory)
+``.log``           durability pane (per-stream log segments, durable
+                   watermarks, checkpoint/recovery counters)
+``.checkpoint``    force a checkpoint now (durable engines)
 ``.scheduler``     worker-pool / wave counters and failure totals
 ``.queries``       list standing queries
 ``.help / .quit``
@@ -249,6 +252,17 @@ class DataCellShell:
 
     def _cmd_interp(self, arg: str) -> None:
         self._print(self.engine.monitor.interp())
+
+    def _cmd_log(self, arg: str) -> None:
+        self._print(self.engine.monitor.log())
+
+    def _cmd_checkpoint(self, arg: str) -> None:
+        if not self.engine.durable:
+            self._print("engine has no data_dir (durability off)")
+            return
+        self.engine.checkpoint()
+        self._print(f"checkpoint written to {self.engine.data_dir!r} "
+                    f"in {self.engine.last_checkpoint_ms:.1f} ms")
 
     def _cmd_scheduler(self, arg: str) -> None:
         sched = self.engine.scheduler

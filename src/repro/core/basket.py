@@ -39,6 +39,10 @@ from repro.mal.relation import Relation
 from repro.storage import types as dt
 from repro.storage.schema import Schema
 
+# append taps receive (lo_oid, hi_oid, now) after every append while the
+# basket lock is held — callbacks must be tiny and lock-free (the net
+# edge's replay subscriptions park on an Event set here)
+
 
 class Subscription:
     """One query's consumption cursor over a basket.
@@ -83,6 +87,11 @@ class Basket:
         self._lock = threading.RLock()
         self._pins = 0
         self.locked_by: Optional[str] = None
+        # durability: when a StreamLog is attached every append is
+        # mirrored to it under the same lock hold, so log offsets and
+        # basket oids are one coordinate system
+        self._log = None
+        self._taps: List[Any] = []
         # statistics (the demo's monitoring pane reads these)
         self.total_in = 0
         self.total_dropped = 0
@@ -125,12 +134,15 @@ class Basket:
         # batch conversion per column instead of a per-row Python loop
         staged = [dt.coerce_column(coldef.dtype, [row[i] for row in rows])
                   for i, coldef in enumerate(self.schema.columns)]
+        arrival = np.full(len(rows), now, dtype=np.int64)
         with self._lock:
+            lo = self.next_oid
             for coldef, column in zip(self.schema.columns, staged):
                 self._bats[coldef.name].extend(column)
-            self._arrival.extend(np.full(len(rows), now, dtype=np.int64))
+            self._arrival.extend(arrival)
             self.total_in += len(rows)
             self.high_water = max(self.high_water, len(self))
+            self._log_and_tap(lo, staged, arrival, now)
         return len(rows)
 
     def append_relation(self, rel: Relation, now: int) -> int:
@@ -139,12 +151,17 @@ class Basket:
         n = rel.row_count
         if n == 0:
             return 0
+        arrival = np.full(n, now, dtype=np.int64)
         with self._lock:
+            lo = self.next_oid
             for coldef in self.schema.columns:
                 self._bats[coldef.name].append_bat(rel.column(coldef.name))
-            self._arrival.extend(np.full(n, now, dtype=np.int64))
+            self._arrival.extend(arrival)
             self.total_in += n
             self.high_water = max(self.high_water, len(self))
+            self._log_and_tap(
+                lo, [rel.column(c.name).values
+                     for c in self.schema.columns], arrival, now)
         return n
 
     def append_stamped(self, rel: Relation, now: int,
@@ -181,6 +198,116 @@ class Basket:
         with self._lock:
             return list(self._stamps)
 
+    # -- durability & taps -------------------------------------------------
+
+    def attach_log(self, log) -> None:
+        """Mirror every future append to *log* (a
+        :class:`repro.store.log.StreamLog`). The log's next offset must
+        equal this basket's next oid — offsets and oids are one
+        coordinate system from here on."""
+        with self._lock:
+            if log.next_offset != self.next_oid:
+                raise StreamError(
+                    f"basket {self.name!r}: log offset "
+                    f"{log.next_offset} != next oid {self.next_oid}")
+            self._log = log
+
+    @property
+    def log(self):
+        return self._log
+
+    def add_tap(self, tap) -> None:
+        """Register an append tap ``tap(lo_oid, hi_oid, now)`` — called
+        under the basket lock after every append. Callbacks must be
+        tiny and lock-free (set an event, bump a counter)."""
+        with self._lock:
+            self._taps.append(tap)
+
+    def remove_tap(self, tap) -> None:
+        with self._lock:
+            self._taps = [t for t in self._taps if t is not tap]
+
+    def _log_and_tap(self, lo: int, columns: List[np.ndarray],
+                     arrival: np.ndarray, now: int) -> None:
+        hi = self.next_oid
+        if self._log is not None:
+            _llo, lhi = self._log.append(columns, arrival)
+            if lhi != hi:
+                raise StreamError(
+                    f"basket {self.name!r}: log drifted to {lhi}, "
+                    f"basket at {hi}")
+        for tap in self._taps:
+            tap(lo, hi, now)
+
+    def durable_upto(self) -> int:
+        """Oid below which tuples are persisted (``next_oid`` when the
+        basket has no log — everything is as durable as it gets)."""
+        log = self._log
+        return self.next_oid if log is None else log.durable_offset
+
+    # -- recovery adoption -------------------------------------------------
+
+    def adopt_columns(self, base_oid: int,
+                      columns: Dict[str, np.ndarray],
+                      arrival: np.ndarray) -> int:
+        """Adopt log-read column arrays as this basket's content.
+
+        Zero-copy (``BAT.adopt_array``): the arrays become the BAT
+        heaps, positioned at absolute oid *base_oid*. Only valid on a
+        fresh, empty basket — the recovery path.
+        """
+        with self._lock:
+            if len(self._arrival) or self._arrival.hseqbase:
+                raise StreamError(
+                    f"basket {self.name!r} is not fresh; cannot adopt")
+            n = len(arrival)
+            for coldef in self.schema.columns:
+                values = columns[coldef.name]
+                if len(values) != n:
+                    raise StreamError(
+                        f"basket {self.name!r}: column "
+                        f"{coldef.name!r} has {len(values)} rows, "
+                        f"arrival has {n}")
+                self._bats[coldef.name] = BAT.adopt_array(
+                    coldef.dtype, values, hseqbase=base_oid)
+            self._arrival = BAT.adopt_array(dt.TIMESTAMP, arrival,
+                                            hseqbase=base_oid)
+            self.total_in = base_oid + n
+            self.total_dropped = base_oid
+            self.high_water = max(self.high_water, n)
+            return n
+
+    def rehydrate(self, base_oid: int, columns: Dict[str, np.ndarray],
+                  arrival: np.ndarray) -> int:
+        """Extend the retained head *downward* with log-read history.
+
+        ``[base_oid, first_oid)`` must be exactly the range provided —
+        a replay subscription starting below the retained prefix pulls
+        the gap back out of the log through here.
+        """
+        with self._lock:
+            n = len(arrival)
+            if base_oid + n != self.first_oid:
+                raise StreamError(
+                    f"basket {self.name!r}: rehydrate range "
+                    f"[{base_oid},{base_oid + n}) does not meet "
+                    f"first oid {self.first_oid}")
+            if n == 0:
+                return 0
+            for coldef in self.schema.columns:
+                merged = np.concatenate(
+                    [columns[coldef.name],
+                     self._bats[coldef.name].values])
+                self._bats[coldef.name] = BAT.adopt_array(
+                    coldef.dtype, merged, hseqbase=base_oid)
+            self._arrival = BAT.adopt_array(
+                dt.TIMESTAMP,
+                np.concatenate([arrival, self._arrival.values]),
+                hseqbase=base_oid)
+            self.total_dropped = max(0, self.total_dropped - n)
+            self.high_water = max(self.high_water, len(self))
+            return n
+
     # -- reading ------------------------------------------------------------
 
     def clamp_range(self, lo_oid: Optional[int],
@@ -214,6 +341,27 @@ class Basket:
             return Relation(
                 (c.name, self._bats[c.name].slice(start, stop))
                 for c in self.schema.columns)
+
+    def snapshot_range(self, lo_oid: int, hi_oid: int
+                       ) -> Tuple[Relation, Tuple[int, int]]:
+        """Like :meth:`relation` but also returns the clamped
+        ``(lo, hi)`` actually covered, decided under one lock hold.
+
+        Replay readers need this: between deciding a range and copying
+        it, vacuum may drop the head — the clamped lo tells the caller
+        which prefix it must re-read from the durable log instead.
+        """
+        with self._lock:
+            lo = max(lo_oid, self.first_oid)
+            hi = min(hi_oid, self.next_oid)
+            if hi < lo:
+                hi = lo
+            start = lo - self.first_oid
+            stop = hi - self.first_oid
+            rel = Relation(
+                (c.name, self._bats[c.name].slice(start, stop))
+                for c in self.schema.columns)
+            return rel, (lo, hi)
 
     def arrival_slice(self, lo_oid: int, hi_oid: int
                       ) -> Tuple[np.ndarray, Tuple[int, int]]:
@@ -249,16 +397,23 @@ class Basket:
 
     # -- subscriptions & draining ----------------------------------------------
 
-    def subscribe(self, name: str, from_start: bool = False
-                  ) -> Subscription:
+    def subscribe(self, name: str, from_start: bool = False,
+                  start_oid: Optional[int] = None) -> Subscription:
         """Register a consumer; new subscribers start at the stream head
-        unless ``from_start`` replays the retained prefix."""
+        unless ``from_start`` replays the retained prefix or
+        *start_oid* positions the cursor explicitly (clamped to the
+        retained oid range — rehydrate from the log first to start
+        below ``first_oid``)."""
         with self._lock:
             if name in self._subs:
                 raise StreamError(
                     f"subscription {name!r} already exists on basket "
                     f"{self.name!r}")
-            start = self.first_oid if from_start else self.next_oid
+            if start_oid is not None:
+                start = min(max(start_oid, self.first_oid),
+                            self.next_oid)
+            else:
+                start = self.first_oid if from_start else self.next_oid
             sub = Subscription(name, start)
             self._subs[name] = sub
             return sub
@@ -282,6 +437,10 @@ class Basket:
             if self._pins or not self._subs:
                 return 0
             floor = min(s.released_upto for s in self._subs.values())
+            if self._log is not None:
+                # never drop tuples the log has not persisted yet: a
+                # crash would lose them from both memory and disk
+                floor = min(floor, self._log.durable_offset)
             drop = floor - self.first_oid
             if drop <= 0:
                 return 0

@@ -211,6 +211,58 @@ class QueueSink(Sink):
                 "evicted": self.evicted}
 
 
+class SubscriberCursor:
+    """Offset bookkeeping for one replay-capable stream subscriber.
+
+    Unlike :class:`QueueSink` subscribers — which buffer a bounded
+    queue and get evicted when it overflows — a cursor subscriber owns
+    a position in the stream's oid/offset space and simply *lags* when
+    slow: the server's pump thread re-reads ``[cursor, next_oid)`` from
+    basket memory or the durable log, so nothing needs buffering and
+    nobody gets evicted. ``acked`` trails ``cursor`` by whatever the
+    client has not yet acknowledged; a reconnect resumes from the
+    client's last delivered offset.
+    """
+
+    __slots__ = ("name", "cursor", "acked", "sent_batches", "sent_rows",
+                 "replay_rows", "resumes", "_lock")
+
+    def __init__(self, name: str, start_offset: int):
+        self.name = name
+        self.cursor = int(start_offset)   # next offset to send
+        self.acked = int(start_offset)    # client-confirmed offset
+        self.sent_batches = 0
+        self.sent_rows = 0
+        self.replay_rows = 0              # rows sent from history
+        self.resumes = 0                  # catch-ups after falling behind
+        self._lock = threading.Lock()
+
+    def advance(self, upto: int, rows: int, replay: bool) -> None:
+        with self._lock:
+            self.cursor = max(self.cursor, int(upto))
+            self.sent_batches += 1
+            self.sent_rows += rows
+            if replay:
+                self.replay_rows += rows
+
+    def ack(self, offset: int) -> None:
+        """Record the client's confirmation; clamped to what was
+        actually sent (a client cannot ack the future)."""
+        with self._lock:
+            self.acked = max(self.acked, min(int(offset), self.cursor))
+
+    def lag(self, head: int) -> int:
+        return max(0, int(head) - self.cursor)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"cursor": self.cursor, "acked": self.acked,
+                    "sent_batches": self.sent_batches,
+                    "sent_rows": self.sent_rows,
+                    "replay_rows": self.replay_rows,
+                    "resumes": self.resumes}
+
+
 class Emitter:
     """Fans one query's result batches out to its sinks.
 

@@ -19,7 +19,11 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+import json
+import os
+import time
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
 
 from repro.core.basket import Basket
 from repro.core.clock import Clock, SimulatedClock
@@ -35,7 +39,8 @@ from repro.core.recycler import DEFAULT_BUDGET_BYTES, Recycler
 from repro.core.rewriter import rewrite_to_continuous
 from repro.core.scheduler import PetriNetScheduler
 from repro.core.windows import BasicWindowTracker, WindowSpec, WindowState
-from repro.errors import BindError, CatalogError, StreamError
+from repro.errors import BindError, CatalogError, StoreError, StreamError
+from repro.mal.bat import BAT
 from repro.mal.compiler import compile_plan
 from repro.mal.fingerprint import (cached_program_fingerprint,
                                    fingerprint_cache_stats)
@@ -49,7 +54,11 @@ from repro.sql.parser import parse, parse_script
 from repro.sql.plan import PlanNode, find_stream_scans
 from repro.sql.planner import Planner
 from repro.storage.catalog import Catalog
+from repro.storage.persistence import (load_catalog, load_queries,
+                                       save_catalog, save_queries)
 from repro.storage.schema import Schema
+from repro.store import DURABILITY_MODES, FaultInjector, StreamLog
+from repro.store.log import MANIFEST
 from repro.streams.source import StreamSource
 
 
@@ -94,7 +103,12 @@ class DataCellEngine:
                  recycler_autotune_ceiling: Optional[int] = None,
                  parallel_workers: Optional[int] = None,
                  compile_plans: bool = True,
-                 interp_profile: bool = False):
+                 interp_profile: bool = False,
+                 data_dir: Optional[str] = None,
+                 durability: str = "async",
+                 segment_rows: int = 4096,
+                 checkpoint_interval_s: float = 2.0,
+                 log_inline: bool = False):
         """``parallel_workers`` sizes the scheduler's firing pool:
         ``None``/``1`` (default) keeps the serial cascade — the
         deterministic path every SimulatedClock run gets unless
@@ -125,7 +139,22 @@ class DataCellEngine:
         (:func:`repro.mal.compiler.compile_program`); firing then skips
         the interpreter's per-instruction dispatch entirely.
         ``interp_profile`` additionally records per-opcode cumulative
-        wall time on every firing (the ``.interp`` monitor pane)."""
+        wall time on every firing (the ``.interp`` monitor pane).
+
+        ``data_dir`` turns on the durable stream log
+        (:mod:`repro.store`): every admitted tuple is mirrored to an
+        append-only segmented log per stream, the catalog and standing-
+        query definitions are checkpointed there, and constructing an
+        engine over an existing ``data_dir`` *recovers* — baskets,
+        window cursors and emit stamps are rebuilt so emissions resume
+        byte-identically to an uninterrupted run. ``durability`` picks
+        the write discipline: ``"async"`` (default) group-commits with
+        one flush per group, ``"fsync"`` additionally fsyncs,
+        ``"off"`` disables logging even with a ``data_dir``.
+        ``checkpoint_interval_s`` paces the periodic checkpoint driven
+        from :meth:`step` (and the network server's scheduler loop);
+        ``log_inline`` persists synchronously inside each append — the
+        deterministic mode crash tests drive."""
         self.clock = clock if clock is not None else SimulatedClock()
         self.catalog = Catalog()
         self.recycler = Recycler(recycler_budget_bytes,
@@ -149,8 +178,42 @@ class DataCellEngine:
         # the attached network edge (a DataCellServer), when serving
         self.net_edge = None
 
+        # -- durability (repro.store) ----------------------------------
+        if durability not in DURABILITY_MODES:
+            raise StreamError(
+                f"unknown durability mode {durability!r} "
+                f"(expected one of {DURABILITY_MODES})")
+        self.data_dir = data_dir
+        self.durability = durability if data_dir is not None else "off"
+        self.segment_rows = int(segment_rows)
+        self.checkpoint_interval_s = float(checkpoint_interval_s)
+        self.log_inline = bool(log_inline)
+        self._logs: Dict[str, StreamLog] = {}
+        self._fault = FaultInjector.from_env()
+        self.checkpoints = 0
+        self.last_checkpoint_ms = 0.0
+        self.last_checkpoint_error: Optional[BaseException] = None
+        self.recovered = False
+        self._recovering = False
+        self._last_ckpt = time.monotonic()
+        if self.durable and self._has_prior_state():
+            self._recover()
+
+    @property
+    def durable(self) -> bool:
+        return self.durability != "off"
+
     def close(self) -> None:
-        """Release the scheduler's worker pool (no-op when serial)."""
+        """Checkpoint (when durable), close the stream logs, and
+        release the scheduler's worker pool."""
+        if self.durable and self._logs:
+            try:
+                self.checkpoint()
+            except StoreError:
+                pass  # a failed writer must not block shutdown
+        for log in self._logs.values():
+            log.close()
+        self._logs = {}
         self.scheduler.shutdown()
 
     def __enter__(self) -> "DataCellEngine":
@@ -318,6 +381,15 @@ class DataCellEngine:
         basket = Basket(name, schema)
         self.scheduler.add_basket(basket)
         self._receptors[basket.name] = []
+        if self.durable:
+            log = self._open_log(basket.name, schema)
+            if log.next_offset > basket.next_oid:
+                # a stale log dir from a dropped/recreated stream whose
+                # history this fresh basket does not carry — discard it
+                log.truncate_to(basket.next_oid)
+            basket.attach_log(log)
+            if not self._recovering:
+                self.checkpoint()
         return basket
 
     def drop_stream(self, name: str) -> None:
@@ -333,6 +405,11 @@ class DataCellEngine:
             r for r in self.scheduler.receptors
             if r.basket.name != name]
         self._receptors.pop(name, None)
+        log = self._logs.pop(name, None)
+        if log is not None:
+            log.close()
+        if self.durable:
+            self.checkpoint()
 
     def basket(self, name: str) -> Basket:
         try:
@@ -403,7 +480,9 @@ class DataCellEngine:
                             cache_enabled: bool = True,
                             sink: Optional[Sink] = None,
                             output_stream: Optional[str] = None,
-                            collect_max_batches: Optional[int] = None
+                            collect_max_batches: Optional[int] = None,
+                            from_start: bool = False,
+                            from_offset: Optional[int] = None
                             ) -> ContinuousQuery:
         """Register a standing query.
 
@@ -424,6 +503,14 @@ class DataCellEngine:
         ``collect_max_batches`` bounds the query's built-in
         :class:`CollectingSink` ring (oldest batches dropped once
         full) — recommended for long-lived live/server deployments.
+
+        ``from_start`` / ``from_offset`` start the query's stream
+        cursors in the *past* instead of at the head: history still in
+        basket memory is windowed directly, and history already
+        vacuumed is rehydrated from the stream's durable log (requires
+        a ``data_dir`` engine). Offsets are basket oids — the same
+        coordinate replay subscribers and checkpoints use. Offsets
+        below what the log retains clamp to the oldest available tuple.
         """
         stmt = parse(sql)
         if not isinstance(stmt, (ast.SelectStmt, ast.UnionStmt)):
@@ -481,10 +568,19 @@ class DataCellEngine:
             emitter.add_sink(out_sink)
 
         baskets = {s: self.basket(s) for s in stream_names}
+        starts: Optional[Dict[str, int]] = None
+        if from_start or from_offset is not None:
+            starts = {}
+            for s, basket in baskets.items():
+                target = 0 if from_start else max(0, int(from_offset))
+                if target < basket.first_oid:
+                    self._rehydrate_stream(s, target)
+                # subscribe() clamps to what is actually retained
+                starts[s] = target
         factory = self._build_factory(
             name, plan, continuous_program, analysis, resolved_mode,
             specs, baskets, emitter, min_batch, max_delay_ms,
-            cache_enabled)
+            cache_enabled, starts=starts)
         if out_sink is not None:
             # chained networks: let the output basket stamp each
             # appended range with the producing plan's emit fingerprint
@@ -507,6 +603,8 @@ class DataCellEngine:
                        "cache_enabled": cache_enabled,
                        "collect_max_batches": collect_max_batches}
         self._queries[name] = query
+        if self.durable and not self._recovering:
+            self.checkpoint()  # definitions must survive a crash
         return query
 
     def _resolve_mode(self, plan: PlanNode,
@@ -548,8 +646,25 @@ class DataCellEngine:
 
     def _build_factory(self, name, plan, continuous_program, analysis,
                        mode, specs, baskets, emitter, min_batch,
-                       max_delay_ms, cache_enabled) -> Factory:
+                       max_delay_ms, cache_enabled,
+                       starts: Optional[Dict[str, int]] = None
+                       ) -> Factory:
         now = self.now()
+
+        def _subscribe(stream, basket):
+            """Subscribe at the head — or, when replaying, at the
+            requested historical offset, anchoring time windows at the
+            first replayed tuple's arrival instant."""
+            start = starts.get(stream) if starts else None
+            sub = basket.subscribe(name, start_oid=start)
+            anchor = now
+            if start is not None and sub.read_upto < basket.next_oid:
+                arr, (lo, _hi) = basket.arrival_slice(
+                    sub.read_upto, sub.read_upto + 1)
+                if len(arr) and lo == sub.read_upto:
+                    anchor = int(arr[0])
+            return sub, anchor
+
         # content identity of this plan's emissions; shared by every
         # mode so chained consumers recognise equal payloads regardless
         # of how the producer executed
@@ -558,17 +673,17 @@ class DataCellEngine:
         if mode == "incremental":
             trackers = {}
             for stream, basket in baskets.items():
-                sub = basket.subscribe(name)
+                sub, anchor = _subscribe(stream, basket)
                 trackers[stream] = BasicWindowTracker(
-                    specs[stream], basket, sub, anchor_time=now)
+                    specs[stream], basket, sub, anchor_time=anchor)
             return IncrementalFactory(name, analysis, trackers, baskets,
                                       self.catalog, emitter,
                                       cache_enabled, plan_fp=plan_fp)
         window_states = {}
         for stream, basket in baskets.items():
-            sub = basket.subscribe(name)
+            sub, anchor = _subscribe(stream, basket)
             window_states[stream] = WindowState(specs[stream], basket,
-                                                sub, anchor_time=now)
+                                                sub, anchor_time=anchor)
         if mode == "delta":
             return DeltaFactory(name, analysis, window_states, baskets,
                                 self.catalog, emitter, plan_fp=plan_fp)
@@ -591,6 +706,8 @@ class DataCellEngine:
         for stream in query.streams:
             self.basket(stream).unsubscribe(name)
             self.basket(stream).vacuum()
+        if self.durable:
+            self.checkpoint()
 
     def continuous_query(self, name: str) -> ContinuousQuery:
         try:
@@ -635,7 +752,9 @@ class DataCellEngine:
             if not isinstance(self.clock, SimulatedClock):
                 raise StreamError("advance_ms needs a SimulatedClock")
             self.clock.advance(advance_ms)
-        return self.scheduler.step()
+        counters = self.scheduler.step()
+        self.maybe_checkpoint()
+        return counters
 
     def run_for(self, duration_ms: int, step_ms: int = 10
                 ) -> Dict[str, int]:
@@ -654,6 +773,8 @@ class DataCellEngine:
         stats["interp"] = self.interp_stats()
         if self.net_edge is not None:
             stats["net"] = self.net_edge.net_stats()
+        if self.durable:
+            stats["log"] = self.log_stats()
         return stats
 
     def interp_stats(self) -> Dict[str, Any]:
@@ -697,6 +818,286 @@ class DataCellEngine:
         out["budget_shrinks"] = self.recycler.budget_shrinks
         out["budget_trajectory"] = list(
             self.recycler.budget_trajectory)
+        return out
+
+    # ------------------------------------------------------------------
+    # durability: stream logs, checkpoints, crash recovery
+    # ------------------------------------------------------------------
+
+    def _stream_log_dir(self, name: str) -> str:
+        return os.path.join(self.data_dir, "streams", name.lower())
+
+    def _state_path(self) -> str:
+        return os.path.join(self.data_dir, "state.json")
+
+    def _catalog_dir(self) -> str:
+        return os.path.join(self.data_dir, "catalog")
+
+    def _open_log(self, name: str, schema: Schema) -> StreamLog:
+        log = StreamLog(self._stream_log_dir(name), name, schema,
+                        segment_rows=self.segment_rows,
+                        durability=self.durability,
+                        inline=self.log_inline,
+                        fault=self._fault)
+        self._logs[name.lower()] = log
+        return log
+
+    def stream_log(self, name: str) -> Optional[StreamLog]:
+        return self._logs.get(name.lower())
+
+    def _has_prior_state(self) -> bool:
+        if os.path.exists(self._state_path()):
+            return True
+        if os.path.exists(os.path.join(self._catalog_dir(),
+                                       "catalog.json")):
+            return True
+        streams_dir = os.path.join(self.data_dir, "streams")
+        if os.path.isdir(streams_dir):
+            for entry in os.listdir(streams_dir):
+                if os.path.exists(os.path.join(streams_dir, entry,
+                                               MANIFEST)):
+                    return True
+        return False
+
+    def checkpoint(self) -> None:
+        """Persist a consistent recovery point under ``data_dir``.
+
+        Order matters: the stream logs are flushed *first*, so every
+        oid the saved cursors and basket bounds reference is durable
+        before ``state.json`` swings into place (tmp + atomic rename).
+        A crash between the two leaves the previous state file valid
+        against a longer log — recovery replays the extra tail.
+        """
+        if not self.durable:
+            return
+        t0 = time.perf_counter()
+        for log in self._logs.values():
+            log.flush()
+        save_catalog(self.catalog, self._catalog_dir())
+        qdefs = []
+        for query in self._queries.values():
+            entry = dict(query.knobs)
+            entry.update({"name": query.name, "sql": query.sql_text,
+                          "output_stream": query.output_stream})
+            qdefs.append(entry)
+        save_queries(qdefs, self.data_dir)
+        baskets = {}
+        for name, basket in self.scheduler.baskets.items():
+            baskets[name] = {
+                "first_oid": basket.first_oid,
+                "next_oid": basket.next_oid,
+                "total_in": basket.total_in,
+                "total_dropped": basket.total_dropped,
+                "high_water": basket.high_water,
+                "stamps": [[lo, hi, fp]
+                           for lo, hi, fp in basket.range_stamps()]}
+        cursors = {q.name: {"mode": q.mode,
+                            "streams": q.factory.cursor_snapshot()}
+                   for q in self._queries.values()}
+        state = {"version": 1, "now": self.now(),
+                 "baskets": baskets, "queries": cursors}
+        tmp = self._state_path() + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(state, f)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, self._state_path())
+        for log in self._logs.values():
+            log.sync_manifest()
+        self.checkpoints += 1
+        self.last_checkpoint_ms = (time.perf_counter() - t0) * 1000.0
+        self.last_checkpoint_error = None
+        self._last_ckpt = time.monotonic()
+
+    def maybe_checkpoint(self) -> bool:
+        """Periodic checkpoint driver (called per :meth:`step` and by
+        the network server's scheduler loop). A failed log writer is
+        recorded — not raised — so the serving loop stays up."""
+        if not self.durable or self._recovering:
+            return False
+        if time.monotonic() - self._last_ckpt < self.checkpoint_interval_s:
+            return False
+        try:
+            self.checkpoint()
+        except StoreError as exc:
+            self.last_checkpoint_error = exc
+            self._last_ckpt = time.monotonic()  # do not retry hot
+            return False
+        return True
+
+    def _recover(self) -> None:
+        """Rebuild engine state from ``data_dir`` after a crash.
+
+        Sources, in trust order: sealed log segments and the re-scanned
+        (possibly torn) tail; the last checkpoint's ``state.json``
+        (cursor snapshots, basket bounds, emit stamps); ``catalog`` and
+        ``queries.json`` definitions. Output-stream logs are truncated
+        back to the checkpoint so re-fired producer windows regenerate
+        the tail instead of duplicating it.
+        """
+        self._recovering = True
+        try:
+            state: Dict[str, Any] = {}
+            if os.path.exists(self._state_path()):
+                with open(self._state_path()) as f:
+                    state = json.load(f)
+            qdefs = load_queries(self.data_dir)
+            if os.path.exists(os.path.join(self._catalog_dir(),
+                                           "catalog.json")):
+                load_catalog(self._catalog_dir(), into=self.catalog)
+            # streams whose only trace is a log dir (crash before the
+            # first catalog checkpoint): definitions from manifests
+            streams_dir = os.path.join(self.data_dir, "streams")
+            known = {s.name for s in self.catalog.streams()}
+            if os.path.isdir(streams_dir):
+                for entry in sorted(os.listdir(streams_dir)):
+                    mpath = os.path.join(streams_dir, entry, MANIFEST)
+                    if entry in known or not os.path.exists(mpath):
+                        continue
+                    with open(mpath) as f:
+                        manifest = json.load(f)
+                    self.catalog.create_stream(
+                        entry, Schema.parse(
+                            [(n, t) for n, t in manifest["columns"]]))
+            # restore simulated time so window schedules resume where
+            # they left off
+            saved_now = state.get("now")
+            if saved_now is not None \
+                    and isinstance(self.clock, SimulatedClock) \
+                    and saved_now > self.clock.now():
+                self.clock.set(int(saved_now))
+            output_streams = {str(e["output_stream"]).lower()
+                              for e in qdefs if e.get("output_stream")}
+            # rebuild floor per stream: the checkpointed retained prefix
+            # AND every consumer cursor's floor (incremental trackers
+            # save an explicit floor computed while basket data lived)
+            floors: Dict[str, List[int]] = {}
+            for qstate in state.get("queries", {}).values():
+                for stream, snap in qstate.get("streams", {}).items():
+                    f = snap.get("floor_oid", snap.get("released_upto"))
+                    if f is not None:
+                        floors.setdefault(stream, []).append(int(f))
+            bmeta_all = state.get("baskets", {})
+            for stream_def in self.catalog.streams():
+                name = stream_def.name
+                basket = Basket(name, stream_def.schema)
+                self.scheduler.add_basket(basket)
+                self._receptors[name] = []
+                log = self._open_log(name, stream_def.schema)
+                bmeta = bmeta_all.get(name, {})
+                end = log.next_offset
+                if name in output_streams:
+                    # regenerable: producers re-fire from their saved
+                    # cursors, so anything past the checkpoint would
+                    # otherwise appear twice
+                    end = min(end, int(bmeta.get("next_oid", 0)))
+                    log.truncate_to(end)
+                base = int(bmeta.get("first_oid", 0))
+                for floor in floors.get(name, []):
+                    base = min(base, floor)
+                base = max(0, min(base, end))
+                cols, arrival = log.read(base, end)
+                basket.adopt_columns(base, cols, arrival)
+                basket.total_in = int(bmeta.get("total_in", end))
+                if basket.total_in < end:
+                    basket.total_in = end
+                basket.high_water = max(
+                    int(bmeta.get("high_water", 0)), len(basket))
+                basket._stamps = [
+                    (int(lo), int(hi), fp)
+                    for lo, hi, fp in bmeta.get("stamps", [])
+                    if base <= int(lo) and int(hi) <= end]
+                basket.attach_log(log)
+            # re-register standing queries, then wind their cursors
+            # back to the checkpoint
+            qstates = state.get("queries", {})
+            for entry in qdefs:
+                query = self.register_continuous(
+                    entry["sql"], name=entry["name"],
+                    mode=entry.get("mode", "auto"),
+                    min_batch=entry.get("min_batch", 1),
+                    max_delay_ms=entry.get("max_delay_ms"),
+                    cache_enabled=entry.get("cache_enabled", True),
+                    output_stream=entry.get("output_stream"),
+                    collect_max_batches=entry.get("collect_max_batches"))
+                snap = qstates.get(query.name, {})
+                if snap.get("streams"):
+                    query.factory.cursor_restore(snap["streams"])
+            self.recovered = True
+        finally:
+            self._recovering = False
+        self.checkpoint()
+
+    def _rehydrate_stream(self, stream: str, target: int) -> int:
+        """Pull vacuumed history ``[target, first_oid)`` back from the
+        stream's log into basket memory (replay support); returns the
+        number of rows rehydrated."""
+        basket = self.basket(stream)
+        log = self._logs.get(basket.name)
+        if log is None:
+            return 0
+        lo = max(0, int(target))
+        hi = basket.first_oid
+        if hi <= lo:
+            return 0
+        cols, arrival = log.read(lo, hi)
+        if not len(arrival):
+            return 0
+        return basket.rehydrate(hi - len(arrival), cols, arrival)
+
+    def read_stream_range(self, stream: str, lo: int, hi: int
+                          ) -> List[Tuple[int, int, Relation]]:
+        """Materialize stream tuples ``[lo, hi)`` as ``(lo, hi,
+        relation)`` parts, splicing durable log history (below the
+        basket's retained prefix) with live basket memory — the replay
+        read path behind ``SUBSCRIBE ... FROM``. Bounds clamp to what
+        exists; a concurrent vacuum moving the prefix mid-read falls
+        back to the log for the vacated range."""
+        basket = self.basket(stream)
+        log = self._logs.get(basket.name)
+        parts: List[Tuple[int, int, Relation]] = []
+        cursor = max(0, int(lo))
+        hi = min(int(hi), basket.next_oid)
+        while cursor < hi:
+            first = basket.first_oid
+            if cursor < first:
+                if log is None:
+                    cursor = first  # history gone, not logged: skip
+                    continue
+                cols, arrival = log.read(cursor, min(hi, first))
+                n = len(arrival)
+                if n == 0:
+                    cursor = first  # below what the log retains
+                    continue
+                rel = Relation([
+                    (c.name, BAT.adopt_array(c.dtype, cols[c.name],
+                                             hseqbase=cursor))
+                    for c in basket.schema.columns])
+                parts.append((cursor, cursor + n, rel))
+                cursor += n
+                continue
+            rel, (clo, chi) = basket.snapshot_range(cursor, hi)
+            if clo > cursor:
+                continue  # vacuum raced us; redo via the log branch
+            if chi <= cursor:
+                break
+            parts.append((cursor, chi, rel))
+            cursor = chi
+        return parts
+
+    def log_stats(self) -> Dict[str, Any]:
+        """Durability counters: per-stream log stats plus checkpoint
+        and recovery bookkeeping (the ``.log`` monitor pane)."""
+        out: Dict[str, Any] = {
+            "data_dir": self.data_dir,
+            "durability": self.durability,
+            "recovered": int(self.recovered),
+            "checkpoints": self.checkpoints,
+            "last_checkpoint_ms": round(self.last_checkpoint_ms, 3),
+            "streams": {name: log.stats()
+                        for name, log in sorted(self._logs.items())}}
+        if self.last_checkpoint_error is not None:
+            out["checkpoint_error"] = repr(self.last_checkpoint_error)
         return out
 
     # ------------------------------------------------------------------

@@ -161,6 +161,16 @@ class Factory:
         return sorted({sink.basket.name for sink in self.emitter.sinks
                        if isinstance(sink, BasketSink)})
 
+    def cursor_snapshot(self) -> Dict[str, dict]:
+        """Per-stream window-cursor snapshots for the engine's durable
+        checkpoint (see :mod:`repro.store`); restored after a crash
+        with :meth:`cursor_restore`."""
+        return {}
+
+    def cursor_restore(self, states: Dict[str, dict]) -> None:
+        """Reposition window cursors from a checkpoint snapshot."""
+        return None
+
     def pause(self) -> None:
         if self.state == RUNNING:
             self.state = PAUSED
@@ -347,6 +357,15 @@ class ReevalFactory(Factory):
         for stream, ws in self.window_states.items():
             ws.advance(now, consumed_upto=consumed[stream])
 
+    def cursor_snapshot(self) -> Dict[str, dict]:
+        return {s: ws.snapshot()
+                for s, ws in self.window_states.items()}
+
+    def cursor_restore(self, states: Dict[str, dict]) -> None:
+        for stream, ws in self.window_states.items():
+            if stream in states:
+                ws.restore(states[stream])
+
 
 class IncrementalFactory(Factory):
     """Mode 2: per-basic-window processing with cached intermediates."""
@@ -418,6 +437,20 @@ class IncrementalFactory(Factory):
             tracker.advance()
             floors[stream] = tracker.live_floor()
         self.executor.evict(floors)
+
+    def cursor_snapshot(self) -> Dict[str, dict]:
+        return {s: t.snapshot() for s, t in self.trackers.items()}
+
+    def cursor_restore(self, states: Dict[str, dict]) -> None:
+        for stream, tracker in self.trackers.items():
+            if stream in states:
+                tracker.restore(states[stream])
+        # cached basic-window intermediates died with the process; the
+        # rewound trackers re-feed every still-needed basic window into
+        # a fresh executor
+        self.executor = IncrementalExecutor(
+            self.analysis, ExecutionContext(self.catalog),
+            self.executor.cache_enabled)
 
     def stats(self) -> Dict[str, float]:
         out = super().stats()
@@ -502,6 +535,22 @@ class DeltaFactory(Factory):
         for stream, ws in self.window_states.items():
             ws.advance(now, consumed_upto=consumed[stream],
                        retain_expired=True)
+
+    def cursor_snapshot(self) -> Dict[str, dict]:
+        return {s: ws.snapshot()
+                for s, ws in self.window_states.items()}
+
+    def cursor_restore(self, states: Dict[str, dict]) -> None:
+        from repro.core.delta import DeltaExecutor
+
+        for stream, ws in self.window_states.items():
+            if stream in states:
+                ws.restore(states[stream])
+        # Z-set operator state died with the process; restore() nulled
+        # last_bounds, so the first recovered firing feeds the whole
+        # window as arrivals into a fresh executor — same emissions,
+        # rebuilt state
+        self.executor = DeltaExecutor(self.analysis, self.catalog)
 
     def stats(self) -> Dict[str, float]:
         out = super().stats()

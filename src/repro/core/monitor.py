@@ -236,6 +236,41 @@ class Monitor:
             lines.append(f"    trajectory: {path}")
         return "\n".join(lines)
 
+    def log(self) -> str:
+        """The durability pane: per-stream log segments, durable
+        watermarks, group-commit shape, checkpoint and recovery
+        counters."""
+        eng = self.engine
+        if not getattr(eng, "durable", False):
+            return ("durable log: (off — construct the engine with "
+                    "data_dir=...)")
+        stats = eng.log_stats()
+        lines = [f"durable log [{stats['durability']}] "
+                 f"at {stats['data_dir']}: "
+                 f"checkpoints={stats['checkpoints']} "
+                 f"(last {stats['last_checkpoint_ms']:.1f} ms), "
+                 f"recovered={'yes' if stats['recovered'] else 'no'}"]
+        if stats.get("checkpoint_error"):
+            lines.append(f"  CHECKPOINT ERROR: "
+                         f"{stats['checkpoint_error']}")
+        for name, s in stats["streams"].items():
+            lines.append(
+                f"  {name}: next={s['next_offset']} "
+                f"durable={s['durable_offset']} "
+                f"segments={s['segments']}x{s['segment_rows']} "
+                f"backlog={s['backlog_rows']} rows")
+            lines.append(
+                f"    groups={s['groups']} "
+                f"(avg {s['group_rows'] / max(s['groups'], 1):.1f} "
+                f"rows, max {s['max_group_rows']}) "
+                f"fsyncs={s['fsyncs']} bytes={s['bytes_written']}"
+                + (f" torn={s['torn_rows']}" if s["torn_rows"]
+                   else "")
+                + (f" FAILED: {s['failed']}" if s["failed"] else ""))
+        if not stats["streams"]:
+            lines.append("  (no stream logs open)")
+        return "\n".join(lines)
+
     def plans(self, query_name: str) -> str:
         """Logical plan + MAL before/after the continuous rewrite."""
         query = self.engine.continuous_query(query_name)

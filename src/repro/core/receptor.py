@@ -153,7 +153,8 @@ class SocketReceptor(Receptor):
     POLICIES = ("block", "shed")
 
     def __init__(self, name: str, basket: Basket, max_pending: int = 64,
-                 policy: str = "block", block_timeout_s: float = 5.0):
+                 policy: str = "block", block_timeout_s: float = 5.0,
+                 log_backlog_limit: int = 256):
         if policy not in self.POLICIES:
             raise StreamError(
                 f"unknown admission policy {policy!r} "
@@ -164,6 +165,11 @@ class SocketReceptor(Receptor):
         self.policy = policy
         self.max_pending = max_pending
         self.block_timeout_s = block_timeout_s
+        # durability backpressure: when the stream's log writer backlog
+        # exceeds this many queued group-commit batches, admission
+        # treats it like a full queue (the disk, not the scheduler, is
+        # the bottleneck)
+        self.log_backlog_limit = max(int(log_backlog_limit), 1)
         self._queue: "queue.Queue[List[Sequence[Any]]]" = \
             queue.Queue(maxsize=max_pending)
         self.closed = False
@@ -171,6 +177,7 @@ class SocketReceptor(Receptor):
         self.total_offered = 0
         self.total_shed = 0
         self.total_blocked = 0
+        self.total_log_blocked = 0
 
     # -- producer side (connection thread) -----------------------------
 
@@ -186,6 +193,8 @@ class SocketReceptor(Receptor):
         if not batch:
             return 0
         self.total_offered += len(batch)
+        if not self._log_admission(len(batch)):
+            return 0
         try:
             self._queue.put_nowait(batch)
         except queue.Full:
@@ -202,6 +211,28 @@ class SocketReceptor(Receptor):
                     f"{self.block_timeout_s}s (scheduler not draining)"
                 ) from None
         return len(batch)
+
+    def _log_admission(self, batch_rows: int) -> bool:
+        """Durability backpressure: hold (or shed) offers while the
+        stream log's group-commit writer is drowning. Returns False
+        when the batch was shed."""
+        log = self.basket.log
+        if log is None or log.backlog_batches() < self.log_backlog_limit:
+            return True
+        if self.policy == "shed":
+            self.total_shed += batch_rows
+            return False
+        self.total_log_blocked += 1
+        deadline = time.monotonic() + self.block_timeout_s
+        while log.backlog_batches() >= self.log_backlog_limit:
+            if time.monotonic() >= deadline:
+                self.total_shed += batch_rows
+                raise StreamError(
+                    f"receptor {self.name!r}: log writer backlog above "
+                    f"{self.log_backlog_limit} batches for "
+                    f"{self.block_timeout_s}s (disk not keeping up)")
+            time.sleep(0.005)
+        return True
 
     # -- scheduler side -------------------------------------------------
 
@@ -237,6 +268,7 @@ class SocketReceptor(Receptor):
                 "total_ingested": self.total_ingested,
                 "total_shed": self.total_shed,
                 "total_blocked": self.total_blocked,
+                "total_log_blocked": self.total_log_blocked,
                 "policy": self.policy,
                 "closed": self.closed}
 

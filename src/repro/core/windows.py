@@ -210,6 +210,40 @@ class WindowState:
         self.sub.release(lo if retain_expired
                          else self.basket.oid_at_or_after(new_lo_t))
 
+    # -- checkpoint / recovery -----------------------------------------
+
+    def snapshot(self) -> dict:
+        """Durable cursor state (engine checkpoint). Everything needed
+        to resume firing at the same window after a crash, given a
+        basket rebuilt from the log over at least
+        ``[released_upto, ...)``."""
+        return {"kind": "window",
+                "win_start_oid": self._win_start_oid,
+                "next_fire_time": self._next_fire_time,
+                "fires": self.fires,
+                "read_upto": self.sub.read_upto,
+                "released_upto": self.sub.released_upto}
+
+    def restore(self, state: dict) -> None:
+        """Reposition this cursor from a checkpoint snapshot.
+
+        ``last_bounds`` is deliberately *not* restored: a recovered
+        delta factory has no operator state, so its first firing must
+        see the whole window as arrivals (``delta_bounds`` does exactly
+        that when ``last_bounds`` is None) — emissions stay
+        byte-identical because delta emits full window results.
+        """
+        if state.get("kind") != "window":
+            raise WindowError(
+                f"cursor snapshot kind {state.get('kind')!r} does not "
+                f"match a WindowState")
+        self._win_start_oid = int(state["win_start_oid"])
+        self._next_fire_time = int(state["next_fire_time"])
+        self.fires = int(state["fires"])
+        self.sub.read_upto = int(state["read_upto"])
+        self.sub.released_upto = int(state["released_upto"])
+        self.last_bounds = None
+
     def __repr__(self) -> str:
         return (f"WindowState({self.basket.name}, {self.spec!r}, "
                 f"fires={self.fires})")
@@ -310,6 +344,44 @@ class BasicWindowTracker:
     def live_floor(self) -> int:
         """Smallest basic-window index any future window still needs."""
         return self._next_window
+
+    # -- checkpoint / recovery -----------------------------------------
+
+    def snapshot(self) -> dict:
+        """Durable cursor state (engine checkpoint).
+
+        ``floor_oid`` — the lo bound of the next full window — is
+        computed *now*, while the basket still holds the arrival data a
+        time-based tracker needs; recovery rebuilds the basket from at
+        least this oid and reprocesses basic windows from there
+        (cached intermediates are not persisted).
+        """
+        floor_oid, _ = self._bw_bounds(self._next_window)
+        return {"kind": "tracker",
+                "anchor_oid": self._anchor_oid,
+                "anchor_time": self._anchor_time,
+                "next_window": self._next_window,
+                "fires": self.fires,
+                "floor_oid": floor_oid}
+
+    def restore(self, state: dict) -> None:
+        """Reposition from a checkpoint snapshot: the processing cursor
+        rewinds to the next full window's first basic window
+        (``_next_bw = _next_window``) so the executor — whose cache
+        died with the process — sees every still-needed basic window
+        again."""
+        if state.get("kind") != "tracker":
+            raise WindowError(
+                f"cursor snapshot kind {state.get('kind')!r} does not "
+                f"match a BasicWindowTracker")
+        self._anchor_oid = int(state["anchor_oid"])
+        self._anchor_time = int(state["anchor_time"])
+        self._next_window = int(state["next_window"])
+        self._next_bw = self._next_window
+        self.fires = int(state["fires"])
+        floor = int(state["floor_oid"])
+        self.sub.read_upto = floor
+        self.sub.released_upto = floor
 
     def __repr__(self) -> str:
         return (f"BasicWindowTracker({self.basket.name}, n={self.n_basic},"

@@ -77,6 +77,21 @@ class PersistenceError(DataCellError):
     """Raised when snapshot save/load fails."""
 
 
+class StoreError(DataCellError):
+    """Raised by the durable stream log (segments, manifest, recovery)."""
+
+
+class InjectedCrash(Exception):
+    """Raised by the segment writer's fault-injection hook.
+
+    Deliberately *not* a :class:`DataCellError`: test harnesses that
+    simulate a crash mid-write must not have the signal swallowed by a
+    blanket ``except DataCellError``. The log writer treats it exactly
+    like a process kill — the partial write stays on disk as a torn
+    tail for recovery to truncate.
+    """
+
+
 class NetError(DataCellError):
     """Raised by the network edge (wire protocol, server, client).
 

@@ -187,23 +187,28 @@ class BAT:
         return bat
 
     @classmethod
-    def adopt_array(cls, dtype: dt.DataType, array: np.ndarray) -> "BAT":
+    def adopt_array(cls, dtype: dt.DataType, array: np.ndarray,
+                    hseqbase: int = 0) -> "BAT":
         """Wrap a freshly-computed storage array without copying.
 
         Ownership transfers to the BAT — the caller must not touch the
         array afterwards. Falls back to :meth:`from_array` (a copy) when
         the array is a view, read-only, or of the wrong dtype, so kernel
-        results can use it unconditionally.
+        results can use it unconditionally. *hseqbase* positions the
+        virtual head — log recovery adopts a segment read at the oid
+        range the tuples had before the crash.
         """
         if (isinstance(array, np.ndarray) and array.ndim == 1
                 and array.dtype == dtype.np_dtype
                 and array.flags.owndata and array.flags.writeable):
             bat = cls.__new__(cls)
             bat.dtype = dtype
-            bat.hseqbase = 0
+            bat.hseqbase = hseqbase
             bat._heap = VectorHeap._adopt(dtype, array)
             return bat
-        return cls.from_array(dtype, array)
+        bat = cls.from_array(dtype, array)
+        bat.hseqbase = hseqbase
+        return bat
 
     # -- basic accessors ---------------------------------------------
 

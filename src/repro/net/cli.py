@@ -12,10 +12,16 @@ comma-separated tuple per line (SQL-ish literals, as in the shell's
 
     repro send sensors --port 9001 --batch 64 < rows.txt
 
-``tail`` subscribes to a standing query and prints result batches as
-they arrive::
+``tail`` subscribes to a standing query — or, with ``--stream``/
+``--from``, to a raw stream with historical replay — and prints result
+batches as they arrive::
 
     repro tail hot_rooms --port 9001 --count 10
+    repro tail sensors --stream --from start --reconnect
+
+``--from N`` replays durable history from offset N (``start`` = 0)
+before live tuples; ``--reconnect`` retries a lost connection with
+exponential backoff, resuming from the last delivered offset.
 """
 
 from __future__ import annotations
@@ -60,6 +66,17 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: until interrupted)")
     serve.add_argument("--port-file", default=None,
                        help="write the bound port here (scripting aid)")
+    serve.add_argument("--data-dir", default=None,
+                       help="durable stream-log directory; reopening "
+                            "an existing one recovers streams, "
+                            "queries and cursors")
+    serve.add_argument("--durability", default="async",
+                       choices=("off", "async", "fsync"),
+                       help="log write discipline (with --data-dir)")
+    serve.add_argument("--segment-rows", type=int, default=4096,
+                       help="rows per log segment file")
+    serve.add_argument("--checkpoint-interval", type=float, default=2.0,
+                       help="seconds between periodic checkpoints")
 
     send = sub.add_parser("send", help="ingest rows into a stream")
     send.add_argument("stream")
@@ -73,8 +90,10 @@ def _build_parser() -> argparse.ArgumentParser:
     send.add_argument("--codec", default="json",
                       choices=("json", "msgpack"))
 
-    tail = sub.add_parser("tail", help="follow a standing query")
-    tail.add_argument("query")
+    tail = sub.add_parser("tail", help="follow a standing query or "
+                                       "a raw stream")
+    tail.add_argument("query", help="query name (or stream name with "
+                                    "--stream / --from)")
     tail.add_argument("--host", default="127.0.0.1")
     tail.add_argument("--port", type=int, default=9001)
     tail.add_argument("--count", type=int, default=None,
@@ -83,6 +102,19 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="stop after N idle seconds")
     tail.add_argument("--codec", default="json",
                       choices=("json", "msgpack"))
+    tail.add_argument("--stream", action="store_true",
+                      help="subscribe to a raw stream instead of a "
+                           "standing query")
+    tail.add_argument("--from", dest="from_offset", default=None,
+                      help="replay the stream's durable history from "
+                           "this offset ('start' = 0); implies "
+                           "--stream")
+    tail.add_argument("--reconnect", action="store_true",
+                      help="retry lost connections with exponential "
+                           "backoff, resuming from the last "
+                           "delivered offset")
+    tail.add_argument("--max-retries", type=int, default=8,
+                      help="reconnect attempts before giving up")
     return parser
 
 
@@ -91,7 +123,16 @@ def _cmd_serve(args, out: IO) -> int:
     from repro.core.clock import WallClock
     from repro.core.engine import DataCellEngine
 
-    engine = DataCellEngine(clock=WallClock())
+    engine = DataCellEngine(clock=WallClock(),
+                            data_dir=args.data_dir,
+                            durability=args.durability,
+                            segment_rows=args.segment_rows,
+                            checkpoint_interval_s=args.checkpoint_interval)
+    if engine.recovered:
+        recovered = engine.log_stats()
+        out.write(f"recovered {len(recovered['streams'])} stream "
+                  f"log(s) and {len(engine.queries())} standing "
+                  f"quer(ies) from {args.data_dir}\n")
     if args.script:
         shell = DataCellShell(engine=engine, out=out)
         with open(args.script) as f:
@@ -169,45 +210,114 @@ def _cmd_send(args, out: IO) -> int:
     return 0 if shed == 0 else 3
 
 
-def _cmd_tail(args, out: IO) -> int:
-    client = DataCellClient(args.host, port=args.port,
-                            codec=args.codec,
-                            client_name="repro-tail")
+def _backoff_s(attempt: int) -> float:
+    """Exponential reconnect backoff: 0.2s, 0.4s, ... capped at 5s."""
+    return min(0.2 * (2 ** attempt), 5.0)
+
+
+def _parse_from(value) -> Optional[int]:
+    if value is None:
+        return None
+    if str(value).lower() == "start":
+        return 0
+    return int(value)
+
+
+def _print_batch(batch, out: IO) -> None:
+    if batch.stream is not None:
+        span = f" [{batch.offset},{batch.end})" \
+            + (" replay" if batch.replay else "")
+    else:
+        span = ""
+    out.write(f"-- t={batch.t}ms seq={batch.seq} "
+              f"({batch.row_count} rows){span}\n")
+    for row in batch.rows:
+        out.write("  " + ", ".join(
+            "NULL" if v is None else str(v) for v in row) + "\n")
+
+
+def _cmd_tail(args, out: IO, connect_factory=None) -> int:
+    """``connect_factory`` (tests) overrides client construction so
+    reconnect behavior is drivable without real socket failures."""
+    connect = connect_factory or (lambda: DataCellClient(
+        args.host, port=args.port, codec=args.codec,
+        client_name="repro-tail"))
+    is_stream = bool(args.stream or args.from_offset is not None)
+    resume = _parse_from(args.from_offset)
+    seen = 0
+    attempt = 0
     try:
-        columns = client.subscribe(args.query)
-        out.write(f"subscribed to {args.query!r} "
-                  f"({', '.join(columns)})\n")
-        out.flush()
-        seen = 0
-        idle_deadline = (time.monotonic() + args.timeout
-                         if args.timeout is not None else None)
         while args.count is None or seen < args.count:
-            batches = client.results(max_batches=1, timeout=0.5)
-            if not batches:
-                if client.closed or client.last_error is not None:
-                    break
-                if idle_deadline is not None \
-                        and time.monotonic() > idle_deadline:
-                    break
+            try:
+                client = connect()
+            except NetError as exc:
+                if not args.reconnect or attempt >= args.max_retries:
+                    raise
+                attempt += 1
+                out.write(f"connect failed ({exc}); retry "
+                          f"{attempt}/{args.max_retries} in "
+                          f"{_backoff_s(attempt - 1):.1f}s\n")
+                out.flush()
+                time.sleep(_backoff_s(attempt - 1))
                 continue
-            if args.timeout is not None:
-                idle_deadline = time.monotonic() + args.timeout
-            for batch in batches:
-                seen += 1
-                out.write(f"-- t={batch.t}ms seq={batch.seq} "
-                          f"({batch.row_count} rows)\n")
-                for row in batch.rows:
-                    out.write("  " + ", ".join(
-                        "NULL" if v is None else str(v)
-                        for v in row) + "\n")
-            out.flush()
-        if client.last_error is not None:
-            out.write(f"server: {client.last_error} "
-                      f"[{client.last_error.code}]\n")
+            try:
+                if is_stream:
+                    columns = client.subscribe_stream(
+                        args.query, from_offset=resume)
+                    out.write(f"subscribed to stream {args.query!r} "
+                              f"({', '.join(columns)}) from offset "
+                              f"{client.stream_offsets[args.query.lower()]}\n")
+                else:
+                    columns = client.subscribe(args.query)
+                    out.write(f"subscribed to {args.query!r} "
+                              f"({', '.join(columns)})\n")
+                out.flush()
+                attempt = 0
+                idle_deadline = (time.monotonic() + args.timeout
+                                 if args.timeout is not None else None)
+                while args.count is None or seen < args.count:
+                    batches = client.results(max_batches=1,
+                                             timeout=0.5)
+                    if not batches:
+                        if client.closed \
+                                or client.last_error is not None:
+                            break
+                        if idle_deadline is not None \
+                                and time.monotonic() > idle_deadline:
+                            return 0
+                        continue
+                    if args.timeout is not None:
+                        idle_deadline = time.monotonic() + args.timeout
+                    for batch in batches:
+                        seen += 1
+                        _print_batch(batch, out)
+                        if batch.stream is not None \
+                                and batch.end is not None:
+                            # next reconnect resumes after the last
+                            # delivered tuple — no gap, no duplicate
+                            resume = int(batch.end)
+                    out.flush()
+                if client.last_error is not None:
+                    out.write(f"server: {client.last_error} "
+                              f"[{client.last_error.code}]\n")
+            except NetError as exc:
+                client.close()
+                if not (args.reconnect and is_stream):
+                    raise
+                out.write(f"connection lost ({exc})\n")
+                continue
+            client.close()
+            if args.count is not None and seen < args.count \
+                    and args.reconnect and is_stream:
+                # server went away mid-tail; back off and resume
+                if attempt >= args.max_retries:
+                    break
+                attempt += 1
+                time.sleep(_backoff_s(attempt - 1))
+                continue
+            break
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         pass
-    finally:
-        client.close()
     return 0
 
 

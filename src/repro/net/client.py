@@ -28,24 +28,42 @@ from repro.net import protocol
 
 
 class ResultBatch:
-    """One in-order result delivery from a standing query."""
+    """One in-order result delivery from a standing query or a
+    stream subscription.
 
-    __slots__ = ("query", "seq", "t", "columns", "rows")
+    Stream-subscription batches additionally carry the tuple oid range
+    ``[offset, end)`` they cover and ``replay`` (true while the server
+    is still streaming history from before the subscribe); query
+    batches leave those as ``None``/``False``.
+    """
+
+    __slots__ = ("query", "seq", "t", "columns", "rows",
+                 "stream", "offset", "end", "replay")
 
     def __init__(self, query: str, seq: int, t: int,
-                 columns: List[str], rows: List[Tuple[Any, ...]]):
+                 columns: List[str], rows: List[Tuple[Any, ...]],
+                 stream: Optional[str] = None,
+                 offset: Optional[int] = None,
+                 end: Optional[int] = None,
+                 replay: bool = False):
         self.query = query
         self.seq = seq
         self.t = t
         self.columns = columns
         self.rows = rows
+        self.stream = stream
+        self.offset = offset
+        self.end = end
+        self.replay = replay
 
     @property
     def row_count(self) -> int:
         return len(self.rows)
 
     def __repr__(self) -> str:
-        return (f"ResultBatch({self.query}, seq={self.seq}, "
+        label = f"stream={self.stream}" if self.stream \
+            else self.query
+        return (f"ResultBatch({label}, seq={self.seq}, "
                 f"t={self.t}, rows={len(self.rows)})")
 
 
@@ -65,6 +83,9 @@ class DataCellClient:
         self.closed = False
         self.last_error: Optional[NetError] = None
         self.subscriptions: Dict[str, List[str]] = {}
+        # stream-name -> next undelivered offset (resume coordinate)
+        self.stream_offsets: Dict[str, int] = {}
+        self._auto_ack: Dict[str, bool] = {}
         self._pending_results: List[ResultBatch] = []
         try:
             sock = socket.create_connection((host, port),
@@ -107,13 +128,23 @@ class DataCellClient:
                                code=str(message.get("code", "")))
             return message
 
-    @staticmethod
-    def _to_batch(message: Dict[str, Any]) -> ResultBatch:
-        return ResultBatch(
+    def _to_batch(self, message: Dict[str, Any]) -> ResultBatch:
+        stream = message.get("stream")
+        batch = ResultBatch(
             str(message.get("query", "")),
             int(message.get("seq", -1)), int(message.get("t", -1)),
             list(message.get("columns") or []),
-            [tuple(r) for r in (message.get("rows") or [])])
+            [tuple(r) for r in (message.get("rows") or [])],
+            stream=str(stream).lower() if stream else None,
+            offset=message.get("offset"),
+            end=message.get("end"),
+            replay=bool(message.get("replay", False)))
+        if batch.stream is not None and batch.end is not None:
+            self.stream_offsets[batch.stream] = int(batch.end)
+            if self._auto_ack.get(batch.stream):
+                self._stream.send(protocol.ack(batch.stream,
+                                               int(batch.end)))
+        return batch
 
     def _request(self, message: Dict[str, Any]) -> Dict[str, Any]:
         if self.closed:
@@ -143,6 +174,32 @@ class DataCellClient:
         columns = list(reply.get("columns") or [])
         self.subscriptions[query.lower()] = columns
         return columns
+
+    def subscribe_stream(self, stream: str,
+                         from_offset: Optional[int] = None,
+                         auto_ack: bool = True) -> List[str]:
+        """Attach to a raw stream; returns its column names.
+
+        ``from_offset=None`` follows live tuples from the current
+        head; an integer replays durable history from that oid first
+        (clamped to what the server retains), then splices into live
+        delivery — RESULT frames carry ``replay=True`` until caught
+        up. With ``auto_ack`` every received batch is confirmed back
+        (:func:`protocol.ack`), so :attr:`stream_offsets` is the
+        resume coordinate after a reconnect.
+        """
+        stream = stream.lower()
+        reply = self._request(protocol.subscribe(
+            stream=stream, from_offset=from_offset))
+        columns = list(reply.get("columns") or [])
+        self.subscriptions[stream] = columns
+        self.stream_offsets[stream] = int(reply.get("offset", 0))
+        self._auto_ack[stream] = bool(auto_ack)
+        return columns
+
+    def ack(self, stream: str, offset: int) -> None:
+        """Explicitly confirm delivery up to *offset* (no reply)."""
+        self._stream.send(protocol.ack(stream.lower(), offset))
 
     def results(self, max_batches: Optional[int] = None,
                 max_rows: Optional[int] = None,

@@ -22,7 +22,13 @@ A message is a flat dict with a ``"type"`` field — one of
 ``ok``         server -> client: positive reply (hello/ingest/subscribe)
 ``ingest``     client -> server: one batch of rows for a stream
 ``subscribe``  client -> server: attach to a standing query's emitter
-``result``     server -> client: one in-order result batch
+               (``query`` field) or to a raw stream with optional
+               historical replay (``stream`` + ``from`` fields)
+``result``     server -> client: one in-order result batch; stream
+               subscriptions carry ``offset``/``end`` (the batch's oid
+               range) and ``replay`` (true while catching up)
+``ack``        client -> server: confirm delivery of a stream
+               subscription up to ``offset`` (resume bookkeeping)
 ``error``      either direction: failure, with a machine-readable code
 ``stats``      request (client) and reply (server): engine+edge counters
 =============  =====================================================
@@ -57,9 +63,10 @@ OK = "ok"
 INGEST = "ingest"
 SUBSCRIBE = "subscribe"
 RESULT = "result"
+ACK = "ack"
 ERROR = "error"
 STATS = "stats"
-FRAME_TYPES = (HELLO, OK, INGEST, SUBSCRIBE, RESULT, ERROR, STATS)
+FRAME_TYPES = (HELLO, OK, INGEST, SUBSCRIBE, RESULT, ACK, ERROR, STATS)
 
 
 def _json_default(value: Any):
@@ -241,14 +248,40 @@ def ingest(stream: str, rows: List[List[Any]],
     return message
 
 
-def subscribe(query: str) -> Dict[str, Any]:
+def subscribe(query: Optional[str] = None,
+              stream: Optional[str] = None,
+              from_offset: Optional[int] = None) -> Dict[str, Any]:
+    """Query subscription (``query``) or raw-stream subscription
+    (``stream``); ``from_offset`` asks the server to replay durable
+    history starting at that oid before splicing into live tuples
+    (``None`` = live only, from the current head)."""
+    if stream is not None:
+        message: Dict[str, Any] = {"type": SUBSCRIBE, "stream": stream}
+        if from_offset is not None:
+            message["from"] = int(from_offset)
+        return message
     return {"type": SUBSCRIBE, "query": query}
 
 
 def result(query: str, seq: int, t: int, columns: List[str],
-           rows: List[List[Any]]) -> Dict[str, Any]:
-    return {"type": RESULT, "query": query, "seq": seq, "t": t,
-            "columns": columns, "rows": rows}
+           rows: List[List[Any]],
+           stream: Optional[str] = None,
+           offset: Optional[int] = None,
+           end: Optional[int] = None,
+           replay: bool = False) -> Dict[str, Any]:
+    message: Dict[str, Any] = {"type": RESULT, "query": query,
+                               "seq": seq, "t": t,
+                               "columns": columns, "rows": rows}
+    if stream is not None:
+        message.update({"stream": stream, "offset": offset,
+                        "end": end, "replay": replay})
+    return message
+
+
+def ack(stream: str, offset: int) -> Dict[str, Any]:
+    """Fire-and-forget delivery confirmation for a stream
+    subscription (no reply frame)."""
+    return {"type": ACK, "stream": stream, "offset": int(offset)}
 
 
 def error(code: str, message: str, **fields: Any) -> Dict[str, Any]:

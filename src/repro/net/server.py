@@ -38,7 +38,7 @@ import time
 from typing import Any, Dict, List, Optional
 
 from repro.core.clock import WallClock
-from repro.core.emitter import QueueSink
+from repro.core.emitter import QueueSink, SubscriberCursor
 from repro.core.engine import DataCellEngine
 from repro.core.live import drain_scheduler
 from repro.core.receptor import SocketReceptor
@@ -119,6 +119,117 @@ class _Subscription:
         return out
 
 
+class _StreamSubscription:
+    """One replay-capable raw-stream subscriber: a cursor pump.
+
+    Where :class:`_Subscription` buffers emitter deliveries in a
+    bounded queue (and evicts slow consumers), a stream subscriber
+    owns a :class:`~repro.core.emitter.SubscriberCursor` into the
+    stream's oid/offset space. Its pump thread reads
+    ``[cursor, head)`` through
+    :meth:`~repro.core.engine.DataCellEngine.read_stream_range` — the
+    durable log below the basket's retained prefix, live basket memory
+    above — so historical replay flows through the same delivery path
+    as live tuples and splices into them without a gap or duplicate.
+    A slow consumer simply lags and later resumes; it is never
+    evicted. A basket tap wakes the pump on every append.
+    """
+
+    def __init__(self, conn: "_Connection", engine: DataCellEngine,
+                 stream: str, start_offset: int,
+                 chunk_rows: int = 2048):
+        self.conn = conn
+        self.engine = engine
+        self.stream = stream
+        self.basket = engine.basket(stream)
+        self.cursor = SubscriberCursor(
+            f"c{conn.cid}:{stream}", start_offset)
+        self.chunk_rows = max(int(chunk_rows), 1)
+        # tuples below this existed before we subscribed: replay
+        self.replay_upto = self.basket.next_oid
+        self.dead = False
+        self._seq = 0
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._behind = False
+        self._thread = threading.Thread(
+            target=self._run, daemon=True,
+            name=f"stream-sub-{conn.cid}-{stream}")
+
+    def start(self) -> None:
+        self.basket.add_tap(self._tap)
+        self._thread.start()
+
+    def _tap(self, lo: int, hi: int, now: int) -> None:
+        # called under the basket lock on every append: tiny, lock-free
+        self._wake.set()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            head = self.basket.next_oid
+            if self.cursor.cursor >= head:
+                self._wake.wait(0.05)
+                self._wake.clear()
+                continue
+            if self.cursor.lag(head) > self.chunk_rows:
+                self._behind = True
+            lo = self.cursor.cursor
+            hi = min(head, lo + self.chunk_rows)
+            try:
+                parts = self.engine.read_stream_range(
+                    self.stream, lo, hi)
+            except DataCellError:
+                self._detach()  # stream dropped under us
+                return
+            for plo, phi, rel in parts:
+                frame = protocol.result(
+                    "", self._seq, self.engine.now(), rel.names,
+                    [list(r) for r in rel.to_rows()],
+                    stream=self.stream, offset=plo, end=phi,
+                    replay=phi <= self.replay_upto)
+                # advance BEFORE send: the client may ack the batch
+                # before this thread runs again, and a cursor behind
+                # the delivery would clamp that ack away
+                self._seq += 1
+                self.cursor.advance(phi, phi - plo,
+                                    phi <= self.replay_upto)
+                try:
+                    self.conn.stream.send(frame)
+                except NetError:
+                    self._detach()
+                    return
+            if not parts:
+                # everything in [lo, hi) predates what the log
+                # retains; skip forward rather than spin
+                self.cursor.advance(hi, 0, True)
+            if self._behind and self.cursor.cursor >= \
+                    self.basket.next_oid:
+                self._behind = False
+                self.cursor.resumes += 1
+
+    def ack(self, offset: int) -> None:
+        self.cursor.ack(offset)
+
+    def _detach(self) -> None:
+        self.dead = True
+        self.basket.remove_tap(self._tap)
+
+    def stop(self, timeout_s: float = 2.0) -> None:
+        self._stop.set()
+        self._wake.set()
+        self._detach()
+        if self._thread.is_alive() \
+                and self._thread is not threading.current_thread():
+            self._thread.join(timeout_s)
+
+    def stats(self) -> Dict[str, Any]:
+        out = self.cursor.stats()
+        out.update({"stream": self.stream,
+                    "lag": self.cursor.lag(self.basket.next_oid),
+                    "dead": self.dead})
+        return out
+
+
 class _Connection:
     """Server-side state of one accepted socket."""
 
@@ -129,6 +240,7 @@ class _Connection:
             else str(peer)
         self.receptors: Dict[str, SocketReceptor] = {}
         self.subscriptions: List[_Subscription] = []
+        self.stream_subs: Dict[str, _StreamSubscription] = {}
         self.closed = False
 
 
@@ -142,13 +254,16 @@ class DataCellServer:
                  max_pending_batches: int = 64,
                  block_timeout_s: float = 5.0,
                  max_client_queue: int = 256,
-                 collect_max_batches: Optional[int] = 1024):
+                 collect_max_batches: Optional[int] = 1024,
+                 replay_chunk_rows: int = 2048):
         """``port=0`` binds an ephemeral port (read :attr:`port` after
         :meth:`start`). ``admission``/``max_pending_batches`` shape the
         per-producer admission queues; ``max_client_queue`` bounds each
         subscriber's delivery queue; ``collect_max_batches`` retro-bounds
         every standing query's built-in CollectingSink so a long-running
         server does not hoard history (``None`` leaves them unbounded).
+        ``replay_chunk_rows`` bounds how many tuples one stream-replay
+        RESULT frame carries while a subscriber catches up.
         """
         if engine is None:
             engine = DataCellEngine(clock=WallClock())
@@ -166,6 +281,7 @@ class DataCellServer:
         self.block_timeout_s = block_timeout_s
         self.max_client_queue = max_client_queue
         self.collect_max_batches = collect_max_batches
+        self.replay_chunk_rows = replay_chunk_rows
         self._sock: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._sched_thread: Optional[threading.Thread] = None
@@ -268,6 +384,7 @@ class DataCellServer:
     def _sched_loop(self) -> None:
         while not self._stop.is_set():
             self.engine.scheduler.step()
+            self.engine.maybe_checkpoint()
             self.steps += 1
             if self.steps % 256 == 0:
                 self._reap_receptors()
@@ -347,7 +464,12 @@ class DataCellServer:
         if kind == protocol.INGEST:
             self._on_ingest(conn, message)
         elif kind == protocol.SUBSCRIBE:
-            self._on_subscribe(conn, message)
+            if message.get("stream"):
+                self._on_subscribe_stream(conn, message)
+            else:
+                self._on_subscribe(conn, message)
+        elif kind == protocol.ACK:
+            self._on_ack(conn, message)
         elif kind == protocol.STATS:
             conn.stream.send(
                 protocol.stats(self.engine.network_stats()))
@@ -416,6 +538,46 @@ class DataCellServer:
                                      columns=query.plan.schema.names))
         subscription.start()
 
+    def _on_subscribe_stream(self, conn: _Connection,
+                             message: Dict[str, Any]) -> None:
+        stream_name = str(message.get("stream", "")).lower()
+        try:
+            basket = self.engine.basket(stream_name)
+        except DataCellError as exc:
+            conn.stream.send(protocol.error(
+                "no_stream", str(exc), stream=stream_name))
+            return
+        existing = conn.stream_subs.get(stream_name)
+        if existing is not None and not existing.dead:
+            conn.stream.send(protocol.error(
+                "duplicate",
+                f"already subscribed to stream {stream_name!r}",
+                stream=stream_name))
+            return
+        head = basket.next_oid
+        raw_from = message.get("from")
+        start = head if raw_from is None \
+            else max(0, min(int(raw_from), head))
+        sub = _StreamSubscription(conn, self.engine, stream_name,
+                                  start,
+                                  chunk_rows=self.replay_chunk_rows)
+        conn.stream_subs[stream_name] = sub
+        conn.stream.send(protocol.ok(
+            stream=stream_name, columns=basket.schema.names,
+            offset=start, head=head))
+        sub.start()
+
+    def _on_ack(self, conn: _Connection, message: Dict[str, Any]
+                ) -> None:
+        # fire-and-forget: no reply frame, bad acks are dropped
+        sub = conn.stream_subs.get(
+            str(message.get("stream", "")).lower())
+        if sub is not None:
+            try:
+                sub.ack(int(message.get("offset", 0)))
+            except (TypeError, ValueError):
+                pass
+
     def _close_conn(self, conn: _Connection) -> None:
         with self._lock:
             if conn.closed:
@@ -432,6 +594,12 @@ class DataCellServer:
             self._totals["delivered_rows"] += subscription.sent_rows
             if subscription.sink.evicted:
                 self._totals["evicted"] += 1
+        for stream_sub in conn.stream_subs.values():
+            stream_sub.stop()
+            self._totals["delivered_batches"] += \
+                stream_sub.cursor.sent_batches
+            self._totals["delivered_rows"] += \
+                stream_sub.cursor.sent_rows
         conn.stream.close()
 
     # -- inspection ----------------------------------------------------
@@ -457,9 +625,12 @@ class DataCellServer:
             receptors = {s: r.stats()
                          for s, r in conn.receptors.items()}
             subs = [s.stats() for s in conn.subscriptions]
+            stream_subs = [s.stats()
+                           for s in conn.stream_subs.values()]
             entries.append({"id": conn.cid, "peer": conn.peer,
                             "receptors": receptors,
-                            "subscriptions": subs})
+                            "subscriptions": subs,
+                            "stream_subscriptions": stream_subs})
             for r in conn.receptors.values():
                 totals["offered"] += r.total_offered
                 totals["ingested"] += r.total_ingested
@@ -470,6 +641,9 @@ class DataCellServer:
                 totals["delivered_rows"] += s.sent_rows
                 if s.sink.evicted:
                     totals["evicted"] += 1
+            for s in conn.stream_subs.values():
+                totals["delivered_batches"] += s.cursor.sent_batches
+                totals["delivered_rows"] += s.cursor.sent_rows
         with self._lock:
             for receptor in self._orphan_receptors:
                 totals["offered"] += receptor.total_offered

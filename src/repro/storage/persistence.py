@@ -51,6 +51,43 @@ def save_catalog(catalog: Catalog, directory: str) -> None:
         json.dump(manifest, f, indent=2)
 
 
+def save_queries(queries: list, directory: str) -> None:
+    """Persist continuous-query definitions (registration order matters:
+    chained output-stream networks must re-register upstream first).
+
+    Each entry is a plain dict — ``name``, ``sql``, ``output_stream``
+    and the registration knobs — written atomically so a crash
+    mid-checkpoint leaves the previous definition file intact.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "queries.json")
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump({"version": _FORMAT_VERSION, "queries": queries}, f,
+                  indent=2)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+def load_queries(directory: str) -> list:
+    """Read definitions written by :func:`save_queries` (empty list when
+    none were ever persisted)."""
+    path = os.path.join(directory, "queries.json")
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path) as f:
+            manifest = json.load(f)
+    except (OSError, ValueError) as exc:
+        raise PersistenceError(
+            f"cannot read query definitions: {exc}") from exc
+    if manifest.get("version") != _FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported queries version {manifest.get('version')!r}")
+    return list(manifest.get("queries", []))
+
+
 def load_catalog(directory: str,
                  into: Optional[Catalog] = None) -> Catalog:
     """Read a snapshot written by :func:`save_catalog`."""

@@ -1,0 +1,18 @@
+"""Durability subsystem: per-stream segmented logs + crash recovery.
+
+``repro.store`` persists every admitted stream tuple to an append-only
+columnar log (:class:`~repro.store.log.StreamLog`) behind a
+group-commit writer, and gives the engine what it needs to come back
+from a crash: torn-tail truncation, zero-copy basket rebuilds, and the
+offset coordinate system (log offset == basket oid) that subscriber
+cursors and replay-on-subscribe ride on. See ``docs/DURABILITY.md``.
+"""
+
+from repro.store.log import (ARRIVAL_COLUMN, DURABILITY_MODES,
+                             DEFAULT_SEGMENT_ROWS, SegmentInfo,
+                             StreamLog)
+from repro.store.segment import CRASH_ENV, FaultInjector
+
+__all__ = ["ARRIVAL_COLUMN", "CRASH_ENV", "DEFAULT_SEGMENT_ROWS",
+           "DURABILITY_MODES", "FaultInjector", "SegmentInfo",
+           "StreamLog"]

@@ -1,0 +1,511 @@
+"""Per-stream durable log: rolling columnar segments + JSON manifest.
+
+Layout of one stream's log directory::
+
+    <dir>/manifest.json            schema, segment table, knobs
+    <dir>/<base>.<column>          raw column bytes of segment <base>
+    <dir>/<base>.__ts              int64 arrival timestamps
+
+Log *offsets are basket oids*: the n-th tuple ever admitted to the
+stream has offset n in the log and absolute oid n in the basket, so
+subscriber cursors, window cursors, emit stamps and replay all share
+one coordinate system.
+
+Writes go through a **group-commit** writer thread: appends enqueue the
+already-staged column arrays (no copy — the basket's staging buffers
+are immutable after admission) and the writer drains whatever has
+accumulated into one write+flush(+fsync) per group, so the hot path
+pays one syscall batch per scheduler beat rather than per append.
+``durability="async"`` flushes to the OS per group (survives a process
+crash); ``"fsync"`` additionally fsyncs (survives power loss).
+``inline=True`` bypasses the thread and persists synchronously inside
+:meth:`append` — the deterministic mode the crash-equivalence tests
+drive.
+
+Recovery (:class:`StreamLog` opened over an existing directory) trusts
+the manifest's sealed segments, re-scans the unsealed tail segment, and
+truncates every column file back to the *minimum complete row count*
+across columns — a torn group commit leaves columns of unequal length,
+and only whole rows may survive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InjectedCrash, StoreError
+from repro.storage import types as dt
+from repro.storage.schema import Schema
+from repro.store import segment as seg
+
+_FORMAT_VERSION = 1
+MANIFEST = "manifest.json"
+ARRIVAL_COLUMN = "__ts"
+DURABILITY_MODES = ("off", "async", "fsync")
+
+DEFAULT_SEGMENT_ROWS = 4096
+
+
+class SegmentInfo:
+    """One entry of the manifest's segment table."""
+
+    __slots__ = ("base", "rows", "sealed")
+
+    def __init__(self, base: int, rows: int, sealed: bool):
+        self.base = base
+        self.rows = rows
+        self.sealed = sealed
+
+    @property
+    def end(self) -> int:
+        return self.base + self.rows
+
+    def to_json(self) -> dict:
+        return {"base": self.base, "rows": self.rows,
+                "sealed": self.sealed}
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "SegmentInfo":
+        return cls(int(obj["base"]), int(obj["rows"]),
+                   bool(obj["sealed"]))
+
+
+class StreamLog:
+    """Append-only segmented log for one stream."""
+
+    def __init__(self, directory: str, name: str, schema: Schema,
+                 segment_rows: int = DEFAULT_SEGMENT_ROWS,
+                 durability: str = "async", inline: bool = False,
+                 fault: Optional[seg.FaultInjector] = None):
+        if durability not in ("async", "fsync"):
+            raise StoreError(
+                f"unknown durability mode {durability!r} for a live log "
+                f"(expected 'async' or 'fsync')")
+        if segment_rows < 1:
+            raise StoreError("segment_rows must be >= 1")
+        if any(c.name == ARRIVAL_COLUMN for c in schema.columns):
+            raise StoreError(
+                f"column name {ARRIVAL_COLUMN!r} is reserved by the log")
+        self.directory = directory
+        self.name = name.lower()
+        self.schema = schema
+        self.segment_rows = int(segment_rows)
+        self.durability = durability
+        self.inline = bool(inline)
+        self._fault = fault
+        # (name, dtype) for every persisted file of a segment: the
+        # schema columns plus the arrival-timestamp column
+        self._cols: List[Tuple[str, dt.DataType]] = \
+            [(c.name, c.dtype) for c in schema.columns] + \
+            [(ARRIVAL_COLUMN, dt.TIMESTAMP)]
+
+        self._cv = threading.Condition()
+        self._pending: List[Tuple[int, List[np.ndarray], np.ndarray]] = []
+        self._pending_rows = 0
+        self._stop = False
+        self.failed: Optional[BaseException] = None
+
+        self._segments: List[SegmentInfo] = []
+        self._handles: Dict[str, object] = {}
+        self._next = 0       # next offset to assign
+        self._durable = 0    # offsets below this are persisted
+        self.recovered = False
+        self.torn_rows = 0
+        # counters
+        self.groups = 0
+        self.group_rows = 0
+        self.max_group_rows = 0
+        self.fsyncs = 0
+        self.bytes_written = 0
+        self.appends = 0
+
+        os.makedirs(directory, exist_ok=True)
+        manifest_path = os.path.join(directory, MANIFEST)
+        if os.path.exists(manifest_path):
+            self._open_existing(manifest_path)
+        else:
+            self._segments = [SegmentInfo(0, 0, False)]
+            self._write_manifest()
+        self._open_handles()
+
+        self._writer: Optional[threading.Thread] = None
+        if not self.inline:
+            self._writer = threading.Thread(
+                target=self._writer_loop, daemon=True,
+                name=f"log-writer-{self.name}")
+            self._writer.start()
+
+    # -- offsets --------------------------------------------------------
+
+    @property
+    def next_offset(self) -> int:
+        return self._next
+
+    @property
+    def durable_offset(self) -> int:
+        """Offsets below this are on disk (flushed; also fsynced under
+        ``durability="fsync"``). The basket's vacuum floor — data not
+        yet durable must never be dropped from memory."""
+        return self._durable
+
+    def backlog_batches(self) -> int:
+        return len(self._pending)
+
+    def backlog_rows(self) -> int:
+        return self._pending_rows
+
+    # -- manifest -------------------------------------------------------
+
+    def _manifest_json(self) -> dict:
+        return {"version": _FORMAT_VERSION, "stream": self.name,
+                "columns": [[c.name, c.dtype.name]
+                            for c in self.schema.columns],
+                "segment_rows": self.segment_rows,
+                "segments": [s.to_json() for s in self._segments]}
+
+    def _write_manifest(self) -> None:
+        path = os.path.join(self.directory, MANIFEST)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(self._manifest_json(), f)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+
+    def sync_manifest(self) -> None:
+        """Persist the current segment table (checkpoint hook)."""
+        with self._cv:
+            self._write_manifest()
+
+    def _col_path(self, base: int, col: str) -> str:
+        return os.path.join(self.directory, f"{base:012d}.{col}")
+
+    # -- open / recovery ------------------------------------------------
+
+    def _open_existing(self, manifest_path: str) -> None:
+        try:
+            with open(manifest_path) as f:
+                manifest = json.load(f)
+        except (OSError, ValueError) as exc:
+            raise StoreError(
+                f"cannot read log manifest {manifest_path}: "
+                f"{exc}") from exc
+        if manifest.get("version") != _FORMAT_VERSION:
+            raise StoreError(
+                f"unsupported log format {manifest.get('version')!r}")
+        declared = [[str(n).lower(), str(t)]
+                    for n, t in manifest["columns"]]
+        ours = [[c.name, c.dtype.name] for c in self.schema.columns]
+        if declared != ours:
+            raise StoreError(
+                f"log {self.directory} was written with columns "
+                f"{declared}, stream {self.name!r} now has {ours}")
+        self.recovered = True
+        segments = [SegmentInfo.from_json(s)
+                    for s in manifest.get("segments", [])]
+        kept: List[SegmentInfo] = []
+        for i, info in enumerate(segments):
+            counts = [seg.complete_rows(dtype,
+                                        self._col_path(info.base, col))[0]
+                      for col, dtype in self._cols]
+            complete = min(counts) if counts else 0
+            if info.sealed and complete >= info.rows:
+                # trailing junk beyond a sealed segment's declared rows
+                # is unreachable (reads index by the manifest), leave it
+                kept.append(info)
+                continue
+            # the tail (or a damaged sealed segment): keep only whole
+            # rows present in *every* column, truncate the rest
+            declared_rows = info.rows if info.sealed \
+                else (max(counts) if counts else 0)
+            self.torn_rows += max(0, declared_rows - complete)
+            for col, dtype in self._cols:
+                path = self._col_path(info.base, col)
+                extent = seg.row_byte_extent(dtype, path, complete)
+                if os.path.exists(path):
+                    if os.path.getsize(path) > extent:
+                        os.truncate(path, extent)
+                elif complete:
+                    raise StoreError(f"segment column missing: {path}")
+            info.rows = complete
+            info.sealed = False
+            kept.append(info)
+            # anything after a truncated segment is unreachable
+            for later in segments[i + 1:]:
+                self._delete_segment_files(later.base)
+            break
+        if not kept:
+            kept = [SegmentInfo(0, 0, False)]
+        if kept[-1].sealed:
+            kept.append(SegmentInfo(kept[-1].end, 0, False))
+        self._segments = kept
+        self._next = self._durable = kept[-1].end
+        self._write_manifest()
+
+    def _delete_segment_files(self, base: int) -> None:
+        for col, _dtype in self._cols:
+            path = self._col_path(base, col)
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    def _open_handles(self) -> None:
+        active = self._segments[-1]
+        self._handles = {
+            col: open(self._col_path(active.base, col), "ab")
+            for col, _dtype in self._cols}
+
+    def _close_handles(self) -> None:
+        for f in self._handles.values():
+            try:
+                f.close()
+            except OSError:
+                pass
+        self._handles = {}
+
+    # -- appending ------------------------------------------------------
+
+    def append(self, columns: Sequence[np.ndarray],
+               arrival: np.ndarray) -> Tuple[int, int]:
+        """Enqueue one admitted batch; returns its offset range
+        ``[lo, hi)``. *columns* are storage arrays in schema order —
+        ownership stays with the caller but they must not be mutated
+        (the writer encodes them asynchronously)."""
+        if self.failed is not None:
+            raise StoreError(
+                f"stream log {self.name!r} writer failed: {self.failed}")
+        n = len(arrival)
+        with self._cv:
+            lo = self._next
+            if n == 0:
+                return lo, lo
+            self._next += n
+            if self.inline:
+                self._write_group([(lo, list(columns), arrival)])
+                return lo, lo + n
+            self._pending.append((lo, list(columns), arrival))
+            self._pending_rows += n
+            self.appends += 1
+            self._cv.notify_all()
+        return lo, lo + n
+
+    def flush(self, timeout: float = 30.0) -> int:
+        """Barrier: block until everything appended so far is durable."""
+        with self._cv:
+            target = self._next
+            deadline = time.monotonic() + timeout
+            while self._durable < target:
+                if self.failed is not None:
+                    raise StoreError(
+                        f"stream log {self.name!r} writer failed: "
+                        f"{self.failed}")
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise StoreError(
+                        f"stream log {self.name!r}: flush timed out "
+                        f"({self._durable}/{target} durable)")
+                self._cv.wait(min(remaining, 0.1))
+            return self._durable
+
+    # -- writer ---------------------------------------------------------
+
+    def _writer_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._pending and not self._stop:
+                    self._cv.wait(0.1)
+                if not self._pending and self._stop:
+                    return
+                group = self._pending
+                self._pending = []
+                self._pending_rows = 0
+            try:
+                self._write_group(group)
+            except InjectedCrash as exc:
+                with self._cv:
+                    self.failed = exc
+                    self._cv.notify_all()
+                return
+            except Exception as exc:  # disk full, permissions, ...
+                with self._cv:
+                    self.failed = exc
+                    self._cv.notify_all()
+                return
+            with self._cv:
+                self._cv.notify_all()
+
+    def _write_group(self, group: List[Tuple[int, List[np.ndarray],
+                                             np.ndarray]]) -> None:
+        """Persist a drained group: encode + write every batch, then one
+        flush (and under ``fsync`` one fsync) per column file."""
+        rows = 0
+        for _lo, columns, arrival in group:
+            for (col, dtype), values in zip(self._cols,
+                                            list(columns) + [arrival]):
+                data = seg.encode_values(dtype, values)
+                self.bytes_written += len(data)
+                seg.faulty_write(self._handles[col], data, self._fault)
+            rows += len(arrival)
+        for f in self._handles.values():
+            f.flush()
+            if self.durability == "fsync":
+                os.fsync(f.fileno())
+        if self.durability == "fsync":
+            self.fsyncs += 1
+        self.groups += 1
+        self.group_rows += rows
+        self.max_group_rows = max(self.max_group_rows, rows)
+        active = self._segments[-1]
+        active.rows += rows
+        self._durable = active.end
+        if active.rows >= self.segment_rows:
+            self._seal_and_roll()
+
+    def _seal_and_roll(self) -> None:
+        self._close_handles()
+        self._segments[-1].sealed = True
+        self._segments.append(SegmentInfo(self._segments[-1].end, 0,
+                                          False))
+        self._write_manifest()
+        self._open_handles()
+
+    # -- reading --------------------------------------------------------
+
+    def read(self, lo: int, hi: int
+             ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+        """Columns + arrival timestamps for offsets ``[lo, hi)``.
+
+        Only durable offsets are readable; *hi* is clamped to the
+        durable watermark. Returns fresh owning arrays per column,
+        ready for zero-copy basket adoption.
+        """
+        lo = max(lo, 0)
+        hi = min(hi, self._durable)
+        if hi <= lo:
+            empty = {c.name: c.dtype.empty(0)
+                     for c in self.schema.columns}
+            return empty, dt.TIMESTAMP.empty(0)
+        with self._cv:
+            segments = list(self._segments)
+        parts: Dict[str, List[np.ndarray]] = \
+            {col: [] for col, _ in self._cols}
+        for info in segments:
+            s_lo = max(lo, info.base)
+            s_hi = min(hi, info.end)
+            if s_hi <= s_lo:
+                continue
+            start = s_lo - info.base
+            count = s_hi - s_lo
+            for col, dtype in self._cols:
+                parts[col].append(seg.read_rows(
+                    dtype, self._col_path(info.base, col), start, count))
+        out: Dict[str, np.ndarray] = {}
+        for col, dtype in self._cols:
+            chunks = parts[col]
+            if len(chunks) == 1:
+                merged = chunks[0]
+            else:
+                merged = np.concatenate(chunks) if chunks \
+                    else dtype.empty(0)
+            out[col] = merged
+        if sum(len(c) for c in parts[ARRIVAL_COLUMN]) != hi - lo:
+            raise StoreError(
+                f"log {self.name!r}: read [{lo},{hi}) found "
+                f"{sum(len(c) for c in parts[ARRIVAL_COLUMN])} rows")
+        arrival = out.pop(ARRIVAL_COLUMN)
+        return out, arrival
+
+    # -- truncation (recovery of regenerable output streams) ------------
+
+    def truncate_to(self, offset: int) -> int:
+        """Discard everything at or above *offset*; returns rows cut.
+
+        Only valid while quiescent (recovery time): output-stream logs
+        are rolled back to the last checkpoint so the producing query's
+        re-fired windows regenerate — rather than duplicate — the tail.
+        """
+        with self._cv:
+            if self._pending:
+                raise StoreError("truncate_to with pending appends")
+            offset = max(offset, 0)
+            if offset >= self._next:
+                return 0
+            cut = self._next - offset
+            self._close_handles()
+            kept: List[SegmentInfo] = []
+            for info in self._segments:
+                if info.end <= offset:
+                    kept.append(info)
+                    continue
+                if info.base >= offset:
+                    self._delete_segment_files(info.base)
+                    continue
+                keep_rows = offset - info.base
+                for col, dtype in self._cols:
+                    path = self._col_path(info.base, col)
+                    os.truncate(path, seg.row_byte_extent(
+                        dtype, path, keep_rows))
+                info.rows = keep_rows
+                info.sealed = False
+                kept.append(info)
+            if not kept:
+                kept = [SegmentInfo(0, 0, False)]
+            if kept[-1].sealed:
+                kept[-1].sealed = False
+            self._segments = kept
+            self._next = self._durable = kept[-1].end
+            self._write_manifest()
+            self._open_handles()
+            return cut
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain, stop the writer, and persist a clean manifest."""
+        with self._cv:
+            self._stop = True
+            self._cv.notify_all()
+        if self._writer is not None:
+            self._writer.join(timeout=30.0)
+            self._writer = None
+        with self._cv:
+            if self.failed is None and self._pending:
+                try:
+                    self._write_group(self._pending)
+                except (InjectedCrash, OSError) as exc:
+                    self.failed = exc
+                self._pending = []
+                self._pending_rows = 0
+            self._close_handles()
+            if self.failed is None:
+                self._write_manifest()
+
+    def stats(self) -> Dict[str, object]:
+        return {"durability": self.durability,
+                "inline": self.inline,
+                "segments": len(self._segments),
+                "segment_rows": self.segment_rows,
+                "next_offset": self._next,
+                "durable_offset": self._durable,
+                "backlog_batches": self.backlog_batches(),
+                "backlog_rows": self.backlog_rows(),
+                "groups": self.groups,
+                "group_rows": self.group_rows,
+                "max_group_rows": self.max_group_rows,
+                "fsyncs": self.fsyncs,
+                "bytes_written": self.bytes_written,
+                "recovered": int(self.recovered),
+                "torn_rows": self.torn_rows,
+                "failed": repr(self.failed) if self.failed else None}
+
+    def __repr__(self) -> str:
+        return (f"StreamLog({self.name}, next={self._next}, "
+                f"durable={self._durable}, "
+                f"segments={len(self._segments)})")

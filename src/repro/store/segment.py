@@ -1,0 +1,246 @@
+"""Columnar log segments: one append-only file per column.
+
+A segment holds ``[base, base + rows)`` of a stream's log in the same
+columnar shape the in-memory baskets use — one file per column in the
+column's *native storage dtype* plus one ``__ts`` file of int64 arrival
+timestamps — so recovery can rebuild a basket's ``VectorHeap`` buffers
+with a single bulk read per column and adopt them zero-copy
+(``BAT.adopt_array``).
+
+Fixed-width columns (INT/FLOAT/TIMESTAMP/BOOLEAN) are raw value bytes;
+a complete row is ``itemsize`` bytes, so a torn tail is whatever is not
+a multiple of ``itemsize``. STRING columns are length-prefixed frames —
+``uint32 little-endian byte length | utf-8 payload`` — with
+``0xFFFFFFFF`` as the nil sentinel; a torn tail is the trailing bytes
+that do not parse as a complete frame.
+
+:class:`FaultInjector` implements the ``REPRO_STORE_CRASH_AFTER_BYTES``
+test knob: once a byte budget is exhausted the writer lands only the
+partial prefix of the current write and raises
+:class:`~repro.errors.InjectedCrash`, deterministically producing the
+torn tails the recovery tests exercise.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InjectedCrash, StoreError
+from repro.storage import types as dt
+
+# STRING frame header: uint32 little-endian payload byte length
+_LEN = struct.Struct("<I")
+STRING_NIL = 0xFFFFFFFF
+_MAX_STRING_BYTES = STRING_NIL - 1
+
+CRASH_ENV = "REPRO_STORE_CRASH_AFTER_BYTES"
+
+
+class FaultInjector:
+    """A shared byte budget that turns into a deterministic torn tail.
+
+    Every segment write asks :meth:`take` how many of its bytes may
+    land on disk. Once the budget runs out the writer persists only
+    the allowed prefix and raises :class:`InjectedCrash` — from then on
+    the injector allows nothing, so a multi-log engine stops persisting
+    everywhere at one well-defined point.
+    """
+
+    def __init__(self, budget_bytes: int):
+        self.budget_bytes = int(budget_bytes)
+        self._remaining = int(budget_bytes)
+        self._lock = threading.Lock()
+        self.tripped = False
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultInjector"]:
+        raw = os.environ.get(CRASH_ENV)
+        if not raw:
+            return None
+        try:
+            return cls(int(raw))
+        except ValueError:
+            raise StoreError(
+                f"{CRASH_ENV}={raw!r} is not an integer") from None
+
+    def take(self, nbytes: int) -> int:
+        """Bytes of an *nbytes* write allowed on disk; trips once the
+        budget is exceeded (the caller must then raise
+        :class:`InjectedCrash` after the partial write)."""
+        with self._lock:
+            allowed = max(0, min(nbytes, self._remaining))
+            self._remaining -= nbytes
+            if self._remaining < 0:
+                self.tripped = True
+            return allowed
+
+
+def faulty_write(f, data: bytes, fault: Optional[FaultInjector]) -> None:
+    """Write *data* to file object *f*, honoring the fault injector."""
+    if fault is not None:
+        allowed = fault.take(len(data))
+        if allowed < len(data):
+            f.write(data[:allowed])
+            f.flush()
+            os.fsync(f.fileno())
+            raise InjectedCrash(
+                f"injected crash after {fault.budget_bytes} bytes")
+    f.write(data)
+
+
+# ---------------------------------------------------------------------------
+# encoding / decoding
+# ---------------------------------------------------------------------------
+
+def encode_values(dtype: dt.DataType, values: np.ndarray) -> bytes:
+    """Storage values -> segment file bytes."""
+    if not dtype.is_string:
+        arr = np.ascontiguousarray(values, dtype=dtype.np_dtype)
+        return arr.tobytes()
+    out = bytearray()
+    for v in values:
+        if v is None:
+            out += _LEN.pack(STRING_NIL)
+            continue
+        payload = v.encode("utf-8") if isinstance(v, str) \
+            else str(v).encode("utf-8")
+        if len(payload) > _MAX_STRING_BYTES:
+            raise StoreError("string value too large for segment frame")
+        out += _LEN.pack(len(payload))
+        out += payload
+    return bytes(out)
+
+
+def scan_strings(buf: bytes, limit: Optional[int] = None
+                 ) -> Tuple[int, int]:
+    """``(rows, clean_bytes)`` of complete frames at the front of *buf*.
+
+    Stops at the first incomplete frame (the torn tail) or after
+    *limit* rows.
+    """
+    pos = 0
+    rows = 0
+    n = len(buf)
+    while pos + _LEN.size <= n and (limit is None or rows < limit):
+        (ln,) = _LEN.unpack_from(buf, pos)
+        if ln == STRING_NIL:
+            pos += _LEN.size
+            rows += 1
+            continue
+        end = pos + _LEN.size + ln
+        if end > n:
+            break
+        pos = end
+        rows += 1
+    return rows, pos
+
+
+def decode_strings(buf: bytes, start_row: int, count: int) -> np.ndarray:
+    """Object array of *count* string values starting at *start_row*."""
+    out = np.empty(count, dtype=object)
+    pos = 0
+    skipped, pos = _skip_strings(buf, start_row)
+    if skipped < start_row:
+        raise StoreError(
+            f"string column truncated: wanted row {start_row}, "
+            f"file holds {skipped}")
+    for i in range(count):
+        if pos + _LEN.size > len(buf):
+            raise StoreError("string column truncated mid-read")
+        (ln,) = _LEN.unpack_from(buf, pos)
+        pos += _LEN.size
+        if ln == STRING_NIL:
+            out[i] = None
+            continue
+        if pos + ln > len(buf):
+            raise StoreError("string column truncated mid-read")
+        out[i] = buf[pos:pos + ln].decode("utf-8")
+        pos += ln
+    return out
+
+
+def _skip_strings(buf: bytes, rows: int) -> Tuple[int, int]:
+    pos = 0
+    skipped = 0
+    while skipped < rows and pos + _LEN.size <= len(buf):
+        (ln,) = _LEN.unpack_from(buf, pos)
+        pos += _LEN.size
+        if ln != STRING_NIL:
+            pos += ln
+        skipped += 1
+    return skipped, pos
+
+
+# ---------------------------------------------------------------------------
+# file-level helpers (one column file of one segment)
+# ---------------------------------------------------------------------------
+
+def complete_rows(dtype: dt.DataType, path: str) -> Tuple[int, int]:
+    """``(rows, clean_bytes)`` of complete rows in a column file.
+
+    A missing file counts as empty — recovery treats it like a crash
+    before the first byte landed.
+    """
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return 0, 0
+    if not dtype.is_string:
+        item = dtype.np_dtype.itemsize
+        rows = size // item
+        return rows, rows * item
+    with open(path, "rb") as f:
+        buf = f.read()
+    return scan_strings(buf)
+
+
+def row_byte_extent(dtype: dt.DataType, path: str, rows: int) -> int:
+    """Byte length of the first *rows* complete rows of a column file."""
+    if not dtype.is_string:
+        return rows * dtype.np_dtype.itemsize
+    try:
+        with open(path, "rb") as f:
+            buf = f.read()
+    except OSError:
+        return 0
+    found, clean = scan_strings(buf, limit=rows)
+    if found < rows:
+        raise StoreError(
+            f"{path}: wanted {rows} rows for truncation, found {found}")
+    return clean
+
+
+def read_rows(dtype: dt.DataType, path: str, start: int,
+              count: int) -> np.ndarray:
+    """Read *count* storage values starting at row *start*.
+
+    Returns a fresh, writable, owning array — exactly what
+    ``BAT.adopt_array`` needs for zero-copy adoption.
+    """
+    if count <= 0:
+        return dtype.empty(0)
+    if not dtype.is_string:
+        item = dtype.np_dtype.itemsize
+        try:
+            with open(path, "rb") as f:
+                f.seek(start * item)
+                arr = np.fromfile(f, dtype=dtype.np_dtype, count=count)
+        except OSError as exc:
+            raise StoreError(f"cannot read segment column {path}: "
+                             f"{exc}") from exc
+        if len(arr) != count:
+            raise StoreError(
+                f"{path}: wanted {count} rows at {start}, got {len(arr)}")
+        return arr
+    try:
+        with open(path, "rb") as f:
+            buf = f.read()
+    except OSError as exc:
+        raise StoreError(f"cannot read segment column {path}: "
+                         f"{exc}") from exc
+    return decode_strings(buf, start, count)
