@@ -11,14 +11,15 @@ mechanics), E10n (network-edge loopback throughput), E11c
 (chained-network recycling, eviction-policy ablation), E13
 (Z-set delta execution vs incremental vs re-evaluation), E14
 (interpreted vs slot-compiled per-fire overhead, recycler admission
-ablation) and E15 (durable-log ingest throughput by write discipline,
-cold-start recovery time) — and writes ``BENCH_E2.json``,
-``BENCH_E8.json``, ``BENCH_E9.json``, ``BENCH_E10.json``,
-``BENCH_E11.json``, ``BENCH_E13.json``, ``BENCH_E14.json`` and
-``BENCH_E15.json`` to the repo root (or
-``--outdir``). CI runs ``--quick`` so drift is caught without a full
-experiment sweep; ``repro.bench.reporting.compare_runs`` diffs two
-archives.
+ablation), E15 (durable-log ingest throughput by write discipline,
+cold-start recovery time) and E16 (paged from_start replay over
+log-resident history, retention truncation under live queries) — and
+writes ``BENCH_E2.json``, ``BENCH_E8.json``, ``BENCH_E9.json``,
+``BENCH_E10.json``, ``BENCH_E11.json``, ``BENCH_E13.json``,
+``BENCH_E14.json``, ``BENCH_E15.json`` and ``BENCH_E16.json`` to the
+repo root (or ``--outdir``). CI runs ``--quick`` so drift is caught
+without a full experiment sweep;
+``repro.bench.reporting.compare_runs`` diffs two archives.
 """
 
 from __future__ import annotations
@@ -33,7 +34,8 @@ sys.path.insert(0, os.path.dirname(os.path.dirname(
 from benchmarks import (bench_e2_multiquery, bench_e8_scheduler,
                         bench_e9_baskets, bench_e10_net,
                         bench_e11_chain, bench_e13_delta,
-                        bench_e14_interp, bench_e15_durability)
+                        bench_e14_interp, bench_e15_durability,
+                        bench_e16_paging)
 from repro.bench.reporting import save_json
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -100,6 +102,13 @@ def run_e15(quick: bool):
             bench_e15_durability.run_recovery_table(sizes)]
 
 
+def run_e16(quick: bool):
+    nrows = 40_000 if quick else bench_e16_paging.N_ROWS
+    retention = 24_000 if quick else 40_000
+    return [bench_e16_paging.run_replay_table(nrows),
+            bench_e16_paging.run_retention_table(retention)]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -115,7 +124,8 @@ def main(argv=None) -> int:
                          ("BENCH_E11.json", run_e11),
                          ("BENCH_E13.json", run_e13),
                          ("BENCH_E14.json", run_e14),
-                         ("BENCH_E15.json", run_e15)):
+                         ("BENCH_E15.json", run_e15),
+                         ("BENCH_E16.json", run_e16)):
         tables = runner(args.quick)
         for table in tables:
             print()

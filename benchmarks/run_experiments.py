@@ -1,4 +1,4 @@
-"""Run every experiment (E1-E15) and print the full report.
+"""Run every experiment (E1-E16) and print the full report.
 
 Usage::
 
@@ -26,7 +26,8 @@ from benchmarks import (bench_e1_compile, bench_e2_multiquery,
                         bench_e9_baskets, bench_e10_ablation,
                         bench_e10_net, bench_e11_indexing,
                         bench_e12_storefirst, bench_e13_delta,
-                        bench_e14_interp, bench_e15_durability)
+                        bench_e14_interp, bench_e15_durability,
+                        bench_e16_paging)
 
 EXPERIMENTS = [
     ("E1 — continuous-query compilation", bench_e1_compile),
@@ -46,6 +47,7 @@ EXPERIMENTS = [
     ("E13 — Z-set delta execution", bench_e13_delta),
     ("E14 — slot-compiled plan execution", bench_e14_interp),
     ("E15 — durable stream log", bench_e15_durability),
+    ("E16 — log-resident paged windows", bench_e16_paging),
 ]
 
 

@@ -34,7 +34,9 @@ runtime:
 ``.interp``        plan-execution pane (slot-compiler counters,
                    per-opcode profile, autotuner budget trajectory)
 ``.log``           durability pane (per-stream log segments, durable
-                   watermarks, checkpoint/recovery counters)
+                   watermarks, checkpoint/recovery counters, plus a
+                   ``retention`` line per stream: floor, retained
+                   bytes, truncations, paged-window reads)
 ``.checkpoint``    force a checkpoint now (durable engines)
 ``.scheduler``     worker-pool / wave counters and failure totals
 ``.queries``       list standing queries

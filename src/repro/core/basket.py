@@ -91,6 +91,10 @@ class Basket:
         # mirrored to it under the same lock hold, so log offsets and
         # basket oids are one coordinate system
         self._log = None
+        # paged history: when a PagedWindowBinder is attached, read
+        # paths serve oid ranges below first_oid from log segments
+        # (zero-copy views) instead of clamping them away
+        self._pager = None
         self._taps: List[Any] = []
         # statistics (the demo's monitoring pane reads these)
         self.total_in = 0
@@ -216,6 +220,28 @@ class Basket:
     def log(self):
         return self._log
 
+    def attach_pager(self, pager) -> None:
+        """Serve vacuumed history through *pager* (a
+        :class:`repro.store.paging.PagedWindowBinder`). From here on
+        ``relation``/``arrival_slice``/``oid_at_or_after`` extend below
+        ``first_oid`` down to ``pager.floor`` — window cursors page
+        over log-resident history instead of being clamped to the
+        retained prefix."""
+        with self._lock:
+            self._pager = pager
+
+    @property
+    def pager(self):
+        return self._pager
+
+    def history_floor(self) -> int:
+        """Oldest oid readable through this basket: the pager's
+        retention floor when history is paged, else ``first_oid``."""
+        pager = self._pager
+        if pager is None:
+            return self.first_oid
+        return min(self.first_oid, pager.floor)
+
     def add_tap(self, tap) -> None:
         """Register an append tap ``tap(lo_oid, hi_oid, now)`` — called
         under the basket lock after every append. Callbacks must be
@@ -312,14 +338,20 @@ class Basket:
 
     def clamp_range(self, lo_oid: Optional[int],
                     hi_oid: Optional[int]) -> tuple:
-        """Clamp an oid range to the live region (None = unbounded).
+        """Clamp an oid range to the readable region (None = unbounded).
 
-        The recycler keys shared window slices on the clamped range so
-        every phrasing of the same live window maps to one cache entry.
+        The readable region is the live basket, extended down to the
+        pager's retention floor when log-resident history is paged
+        (an explicit *lo_oid* below ``first_oid`` then survives the
+        clamp and :meth:`relation` serves it from segment views). The
+        recycler keys shared window slices on the clamped range so
+        every phrasing of the same window maps to one cache entry.
         """
         with self._lock:
-            lo = self.first_oid if lo_oid is None else max(lo_oid,
-                                                           self.first_oid)
+            floor = self.first_oid
+            if self._pager is not None:
+                floor = min(floor, self._pager.floor)
+            lo = self.first_oid if lo_oid is None else max(lo_oid, floor)
             hi = self.next_oid if hi_oid is None else min(hi_oid,
                                                           self.next_oid)
             if hi < lo:
@@ -328,7 +360,20 @@ class Basket:
 
     def relation(self, lo_oid: Optional[int] = None,
                  hi_oid: Optional[int] = None) -> Relation:
-        """Tuples with oid in [lo_oid, hi_oid) as a relation (copied)."""
+        """Tuples with oid in [lo_oid, hi_oid) as a relation.
+
+        ``lo_oid=None`` means "from the retained head" — exactly the
+        live basket, never paged history. An *explicit* ``lo_oid``
+        below ``first_oid`` reaches into log-resident history when a
+        pager is attached: the vacuumed prefix is served from sealed
+        segment views (zero-copy for single-segment fixed-width
+        windows) and stitched to the in-memory suffix. Without a pager
+        the historic prefix is clamped away, as before.
+        """
+        pager = self._pager
+        if (pager is not None and lo_oid is not None
+                and lo_oid < self.first_oid):
+            return self._paged_relation(lo_oid, hi_oid, pager)
         with self._lock:
             lo = self.first_oid if lo_oid is None else max(lo_oid,
                                                            self.first_oid)
@@ -341,6 +386,41 @@ class Basket:
             return Relation(
                 (c.name, self._bats[c.name].slice(start, stop))
                 for c in self.schema.columns)
+
+    def _paged_relation(self, lo_oid: int, hi_oid: Optional[int],
+                        pager) -> Relation:
+        """Serve ``[lo_oid, hi)`` with the sub-``first_oid`` prefix
+        paged from the log. The in-memory suffix is copied under the
+        basket lock (stable positions); the paged prefix is immutable
+        on disk, so its read happens outside the lock and never blocks
+        appends."""
+        with self._lock:
+            first = self.first_oid
+            hi = self.next_oid if hi_oid is None else min(hi_oid,
+                                                          self.next_oid)
+            mem_rel = None
+            if hi > first:
+                stop = hi - first
+                mem_rel = Relation(
+                    (c.name, self._bats[c.name].slice(0, stop))
+                    for c in self.schema.columns)
+        lo = max(lo_oid, pager.floor)
+        page_hi = min(hi, first)
+        if page_hi <= lo:
+            if mem_rel is not None:
+                return mem_rel
+            return Relation((c.name, BAT(c.dtype))
+                            for c in self.schema.columns)
+        paged = pager.relation(lo, page_hi)
+        if mem_rel is None or mem_rel.row_count == 0:
+            return paged
+        cols = []
+        for c in self.schema.columns:
+            merged = np.concatenate(
+                [np.asarray(paged.column(c.name).values),
+                 mem_rel.column(c.name).values])
+            cols.append((c.name, BAT.adopt_array(c.dtype, merged)))
+        return Relation(cols)
 
     def snapshot_range(self, lo_oid: int, hi_oid: int
                        ) -> Tuple[Relation, Tuple[int, int]]:
@@ -374,23 +454,53 @@ class Basket:
         not the arrival of ``lo_oid + i``). Returning the clamped
         bounds alongside keeps time-window callers from misattributing
         arrivals: ``result[i]`` is the arrival time of oid
-        ``clamped_lo + i``.
+        ``clamped_lo + i``. With a pager attached the historic prefix
+        down to the retention floor is served from the log's ``__ts``
+        segments instead of being clamped away.
         """
+        pager = self._pager
         with self._lock:
-            lo = max(lo_oid, self.first_oid)
+            first = self.first_oid
+            lo = max(lo_oid, first)
             hi = min(hi_oid, self.next_oid)
             if hi < lo:
                 hi = lo
-            start = lo - self.first_oid
-            stop = hi - self.first_oid
-            return self._arrival.values[start:stop].copy(), (lo, hi)
+            start = lo - first
+            stop = hi - first
+            mem = self._arrival.values[start:stop].copy()
+        if pager is None or lo_oid >= first:
+            return mem, (lo, hi)
+        page_lo = max(lo_oid, pager.floor)
+        page_hi = min(min(hi_oid, self.next_oid), first)
+        if page_hi <= page_lo:
+            return mem, (lo, hi)
+        paged = np.asarray(pager.arrival(page_lo, page_hi))
+        if len(paged) != page_hi - page_lo:
+            # retention raced us past page_lo; keep alignment by
+            # trusting only the suffix the pager actually returned
+            page_lo = page_hi - len(paged)
+        if len(mem) == 0:
+            return paged, (page_lo, page_lo + len(paged))
+        return (np.concatenate([paged, mem]),
+                (page_lo, page_lo + len(paged) + len(mem)))
 
     def oid_at_or_after(self, instant_ms: int) -> int:
-        """Smallest live oid whose arrival time is >= *instant_ms*."""
+        """Smallest readable oid whose arrival time is >= *instant_ms*.
+
+        Searches the retained arrival BAT; when the answer clamps to
+        ``first_oid`` and a pager is attached, the search extends into
+        log-resident history — a time window whose lower bound predates
+        the vacuum floor resolves to the true historic oid instead of
+        silently snapping to the retained head.
+        """
         with self._lock:
             pos = int(np.searchsorted(self._arrival.values, instant_ms,
                                       side="left"))
-            return self.first_oid + pos
+            first = self.first_oid
+        pager = self._pager
+        if pos == 0 and pager is not None and pager.floor < first:
+            return pager.oid_at_or_after(instant_ms, first)
+        return first + pos
 
     def column(self, name: str) -> BAT:
         return self._bats[name.lower()]
@@ -400,20 +510,25 @@ class Basket:
     def subscribe(self, name: str, from_start: bool = False,
                   start_oid: Optional[int] = None) -> Subscription:
         """Register a consumer; new subscribers start at the stream head
-        unless ``from_start`` replays the retained prefix or
-        *start_oid* positions the cursor explicitly (clamped to the
-        retained oid range — rehydrate from the log first to start
-        below ``first_oid``)."""
+        unless ``from_start`` replays the readable prefix or
+        *start_oid* positions the cursor explicitly. Explicit cursors
+        clamp to the retained oid range — except when a pager is
+        attached, in which case they may start as low as the pager's
+        retention floor and the factory's reads page the historic
+        prefix out of the log. ``from_start`` likewise starts at the
+        pager floor when history is paged."""
         with self._lock:
             if name in self._subs:
                 raise StreamError(
                     f"subscription {name!r} already exists on basket "
                     f"{self.name!r}")
+            floor = self.first_oid
+            if self._pager is not None:
+                floor = min(floor, self._pager.floor)
             if start_oid is not None:
-                start = min(max(start_oid, self.first_oid),
-                            self.next_oid)
+                start = min(max(start_oid, floor), self.next_oid)
             else:
-                start = self.first_oid if from_start else self.next_oid
+                start = floor if from_start else self.next_oid
             sub = Subscription(name, start)
             self._subs[name] = sub
             return sub

@@ -39,7 +39,8 @@ from repro.core.recycler import DEFAULT_BUDGET_BYTES, Recycler
 from repro.core.rewriter import rewrite_to_continuous
 from repro.core.scheduler import PetriNetScheduler
 from repro.core.windows import BasicWindowTracker, WindowSpec, WindowState
-from repro.errors import BindError, CatalogError, StoreError, StreamError
+from repro.errors import (BindError, CatalogError, ReplayGap, StoreError,
+                          StreamError)
 from repro.mal.bat import BAT
 from repro.mal.compiler import compile_plan
 from repro.mal.fingerprint import (cached_program_fingerprint,
@@ -57,7 +58,8 @@ from repro.storage.catalog import Catalog
 from repro.storage.persistence import (load_catalog, load_queries,
                                        save_catalog, save_queries)
 from repro.storage.schema import Schema
-from repro.store import DURABILITY_MODES, FaultInjector, StreamLog
+from repro.store import (DURABILITY_MODES, FaultInjector,
+                         PagedWindowBinder, StreamLog)
 from repro.store.log import MANIFEST
 from repro.streams.source import StreamSource
 
@@ -108,7 +110,9 @@ class DataCellEngine:
                  durability: str = "async",
                  segment_rows: int = 4096,
                  checkpoint_interval_s: float = 2.0,
-                 log_inline: bool = False):
+                 log_inline: bool = False,
+                 retain_ms: Optional[int] = None,
+                 retain_bytes: Optional[int] = None):
         """``parallel_workers`` sizes the scheduler's firing pool:
         ``None``/``1`` (default) keeps the serial cascade — the
         deterministic path every SimulatedClock run gets unless
@@ -154,7 +158,20 @@ class DataCellEngine:
         ``checkpoint_interval_s`` paces the periodic checkpoint driven
         from :meth:`step` (and the network server's scheduler loop);
         ``log_inline`` persists synchronously inside each append — the
-        deterministic mode crash tests drive."""
+        deterministic mode crash tests drive.
+
+        ``retain_ms`` / ``retain_bytes`` bound how much durable history
+        each stream log keeps: after every periodic checkpoint, sealed
+        segments whose newest arrival is older than ``retain_ms`` (or
+        that push the log past ``retain_bytes``, oldest first) are
+        dropped — never past what live baskets or registered query
+        cursors still need. The log's ``durable_floor`` advances;
+        replay below it lags to the floor (subscriptions) or raises
+        :class:`~repro.errors.ReplayGap` (``from_offset``
+        registration). Factories window over whatever the log retains
+        without rehydrating it: every durable basket carries a
+        :class:`~repro.store.paging.PagedWindowBinder` serving vacuumed
+        history as zero-copy segment views."""
         self.clock = clock if clock is not None else SimulatedClock()
         self.catalog = Catalog()
         self.recycler = Recycler(recycler_budget_bytes,
@@ -188,6 +205,9 @@ class DataCellEngine:
         self.segment_rows = int(segment_rows)
         self.checkpoint_interval_s = float(checkpoint_interval_s)
         self.log_inline = bool(log_inline)
+        self.retain_ms = retain_ms
+        self.retain_bytes = retain_bytes
+        self.retention_rows_dropped = 0
         self._logs: Dict[str, StreamLog] = {}
         self._fault = FaultInjector.from_env()
         self.checkpoints = 0
@@ -387,7 +407,7 @@ class DataCellEngine:
                 # a stale log dir from a dropped/recreated stream whose
                 # history this fresh basket does not carry — discard it
                 log.truncate_to(basket.next_oid)
-            basket.attach_log(log)
+            self._attach_durable(basket, log)
             if not self._recovering:
                 self.checkpoint()
         return basket
@@ -507,10 +527,18 @@ class DataCellEngine:
         ``from_start`` / ``from_offset`` start the query's stream
         cursors in the *past* instead of at the head: history still in
         basket memory is windowed directly, and history already
-        vacuumed is rehydrated from the stream's durable log (requires
-        a ``data_dir`` engine). Offsets are basket oids — the same
-        coordinate replay subscribers and checkpoints use. Offsets
-        below what the log retains clamp to the oldest available tuple.
+        vacuumed is *paged* out of the stream's durable log — the
+        basket's :class:`~repro.store.paging.PagedWindowBinder` serves
+        it as zero-copy segment views, so replaying a long log never
+        materializes the whole range (requires a ``data_dir`` engine).
+        Offsets are basket oids — the same coordinate replay
+        subscribers and checkpoints use. ``from_start`` starts at the
+        oldest offset the log still holds (the retention floor); an
+        explicit ``from_offset`` below that floor raises
+        :class:`~repro.errors.ReplayGap` — serving only the surviving
+        suffix would silently claim history retention has discarded.
+        Without a log, offsets clamp to the retained basket prefix as
+        before.
         """
         stmt = parse(sql)
         if not isinstance(stmt, (ast.SelectStmt, ast.UnionStmt)):
@@ -574,8 +602,31 @@ class DataCellEngine:
             for s, basket in baskets.items():
                 target = 0 if from_start else max(0, int(from_offset))
                 if target < basket.first_oid:
-                    self._rehydrate_stream(s, target)
-                # subscribe() clamps to what is actually retained
+                    if basket.pager is not None:
+                        # log-resident history is paged, not
+                        # rehydrated: the subscription starts below
+                        # first_oid and window reads splice segment
+                        # views in. An explicit offset below the
+                        # retention floor is a gap the caller must
+                        # acknowledge; from_start means "oldest
+                        # available" and starts at the floor.
+                        floor = basket.history_floor()
+                        if from_offset is not None and target < floor:
+                            raise ReplayGap(
+                                f"stream {s!r}: requested offset "
+                                f"{target} is below the retention "
+                                f"floor {floor}; re-request at or "
+                                f"above the floor (or use from_start "
+                                f"for the oldest available history)",
+                                stream=s, requested=target,
+                                floor=floor)
+                    else:
+                        # no pager (durability off): pull the gap back
+                        # into memory, tolerating a short log only for
+                        # from_start ("oldest available") requests
+                        self._rehydrate_stream(
+                            s, target, allow_gap=from_start)
+                # subscribe() clamps to what is actually readable
                 starts[s] = target
         factory = self._build_factory(
             name, plan, continuous_program, analysis, resolved_mode,
@@ -838,9 +889,18 @@ class DataCellEngine:
                         segment_rows=self.segment_rows,
                         durability=self.durability,
                         inline=self.log_inline,
-                        fault=self._fault)
+                        fault=self._fault,
+                        retain_ms=self.retain_ms,
+                        retain_bytes=self.retain_bytes)
         self._logs[name.lower()] = log
         return log
+
+    def _attach_durable(self, basket: Basket, log: StreamLog) -> None:
+        """Bind *log* and a paged-history binder to *basket* — from
+        here on window reads below the vacuum floor page log segments
+        instead of clamping to the retained prefix."""
+        basket.attach_log(log)
+        basket.attach_pager(PagedWindowBinder(log, basket.schema))
 
     def stream_log(self, name: str) -> Optional[StreamLog]:
         return self._logs.get(name.lower())
@@ -923,7 +983,43 @@ class DataCellEngine:
             self.last_checkpoint_error = exc
             self._last_ckpt = time.monotonic()  # do not retry hot
             return False
+        # retention rides checkpoint pacing: the fresh checkpoint's
+        # cursors are exactly what the protect floor defends, so
+        # truncating right after it can never strand a restored cursor
+        # below the floor
+        self.apply_retention()
         return True
+
+    def apply_retention(self) -> Dict[str, int]:
+        """Enforce ``retain_ms``/``retain_bytes`` on every stream log.
+
+        Each log's protect floor is the oldest offset anything live
+        still needs: the basket's retained prefix and every registered
+        subscription cursor (a replay query paging history below
+        ``first_oid`` holds its ``released_upto`` down there — its
+        segments must survive). Network replay subscribers are *not*
+        protected: a socket subscriber that lags below the floor
+        catches up from the floor (``read_stream_range`` skips the
+        discarded prefix). Returns rows dropped per stream.
+        """
+        if not self.durable:
+            return {}
+        dropped: Dict[str, int] = {}
+        now = self.now()
+        for name, log in self._logs.items():
+            if log.retain_ms is None and log.retain_bytes is None:
+                continue
+            protect = log.next_offset
+            basket = self.scheduler.baskets.get(name)
+            if basket is not None:
+                protect = min(protect, basket.first_oid)
+                for sub in basket.subscriptions():
+                    protect = min(protect, sub.released_upto)
+            rows = log.apply_retention(now, protect)
+            if rows:
+                dropped[name] = rows
+                self.retention_rows_dropped += rows
+        return dropped
 
     def _recover(self) -> None:
         """Rebuild engine state from ``data_dir`` after a crash.
@@ -968,15 +1064,6 @@ class DataCellEngine:
                 self.clock.set(int(saved_now))
             output_streams = {str(e["output_stream"]).lower()
                               for e in qdefs if e.get("output_stream")}
-            # rebuild floor per stream: the checkpointed retained prefix
-            # AND every consumer cursor's floor (incremental trackers
-            # save an explicit floor computed while basket data lived)
-            floors: Dict[str, List[int]] = {}
-            for qstate in state.get("queries", {}).values():
-                for stream, snap in qstate.get("streams", {}).items():
-                    f = snap.get("floor_oid", snap.get("released_upto"))
-                    if f is not None:
-                        floors.setdefault(stream, []).append(int(f))
             bmeta_all = state.get("baskets", {})
             for stream_def in self.catalog.streams():
                 name = stream_def.name
@@ -992,12 +1079,15 @@ class DataCellEngine:
                     # otherwise appear twice
                     end = min(end, int(bmeta.get("next_oid", 0)))
                     log.truncate_to(end)
+                # rebuild only the checkpointed retained prefix: cursors
+                # restored below it (incremental floor_oid, replay
+                # released_upto) read the log-resident head through the
+                # paged binder instead of forcing the whole suffix back
+                # into memory
                 base = int(bmeta.get("first_oid", 0))
-                for floor in floors.get(name, []):
-                    base = min(base, floor)
                 base = max(0, min(base, end))
-                cols, arrival = log.read(base, end)
-                basket.adopt_columns(base, cols, arrival)
+                cols, arrival, actual_lo = log.read_clamped(base, end)
+                basket.adopt_columns(actual_lo, cols, arrival)
                 basket.total_in = int(bmeta.get("total_in", end))
                 if basket.total_in < end:
                     basket.total_in = end
@@ -1006,8 +1096,8 @@ class DataCellEngine:
                 basket._stamps = [
                     (int(lo), int(hi), fp)
                     for lo, hi, fp in bmeta.get("stamps", [])
-                    if base <= int(lo) and int(hi) <= end]
-                basket.attach_log(log)
+                    if actual_lo <= int(lo) and int(hi) <= end]
+                self._attach_durable(basket, log)
             # re-register standing queries, then wind their cursors
             # back to the checkpoint
             qstates = state.get("queries", {})
@@ -1028,10 +1118,20 @@ class DataCellEngine:
             self._recovering = False
         self.checkpoint()
 
-    def _rehydrate_stream(self, stream: str, target: int) -> int:
+    def _rehydrate_stream(self, stream: str, target: int,
+                          allow_gap: bool = False) -> int:
         """Pull vacuumed history ``[target, first_oid)`` back from the
         stream's log into basket memory (replay support); returns the
-        number of rows rehydrated."""
+        number of rows rehydrated.
+
+        When the log no longer holds the full range — retention (or an
+        output-stream truncation) discarded ``[target, actual_lo)`` —
+        rehydrating just the surviving suffix while the caller believes
+        it got everything from *target* is a silent gap. Unless
+        *allow_gap* acknowledges it (``from_start`` semantics: "oldest
+        available"), the gap raises :class:`~repro.errors.ReplayGap`
+        carrying the floor to re-request from.
+        """
         basket = self.basket(stream)
         log = self._logs.get(basket.name)
         if log is None:
@@ -1040,10 +1140,16 @@ class DataCellEngine:
         hi = basket.first_oid
         if hi <= lo:
             return 0
-        cols, arrival = log.read(lo, hi)
+        cols, arrival, actual_lo = log.read_clamped(lo, hi)
+        if actual_lo > lo and not allow_gap:
+            raise ReplayGap(
+                f"stream {stream!r}: log no longer holds "
+                f"[{lo},{actual_lo}) — {actual_lo - lo} row(s) below "
+                f"the retention floor; re-request from {actual_lo}",
+                stream=basket.name, requested=lo, floor=actual_lo)
         if not len(arrival):
             return 0
-        return basket.rehydrate(hi - len(arrival), cols, arrival)
+        return basket.rehydrate(actual_lo, cols, arrival)
 
     def read_stream_range(self, stream: str, lo: int, hi: int
                           ) -> List[Tuple[int, int, Relation]]:
@@ -1052,7 +1158,11 @@ class DataCellEngine:
         basket's retained prefix) with live basket memory — the replay
         read path behind ``SUBSCRIBE ... FROM``. Bounds clamp to what
         exists; a concurrent vacuum moving the prefix mid-read falls
-        back to the log for the vacated range."""
+        back to the log for the vacated range. History below the
+        retention floor is *skipped*, not fatal: the first returned
+        part then starts above the requested ``lo`` — a subscriber
+        asking ``from=0`` after retention kicked in lags to the floor
+        instead of erroring out."""
         basket = self.basket(stream)
         log = self._logs.get(basket.name)
         parts: List[Tuple[int, int, Relation]] = []
@@ -1064,11 +1174,15 @@ class DataCellEngine:
                 if log is None:
                     cursor = first  # history gone, not logged: skip
                     continue
-                cols, arrival = log.read(cursor, min(hi, first))
+                cols, arrival, actual_lo = log.read_clamped(
+                    cursor, min(hi, first))
                 n = len(arrival)
                 if n == 0:
                     cursor = first  # below what the log retains
                     continue
+                if actual_lo > cursor:
+                    cursor = actual_lo  # [cursor, actual_lo) retained
+                    #   by nobody: lag to the retention floor
                 rel = Relation([
                     (c.name, BAT.adopt_array(c.dtype, cols[c.name],
                                              hseqbase=cursor))
@@ -1088,14 +1202,23 @@ class DataCellEngine:
     def log_stats(self) -> Dict[str, Any]:
         """Durability counters: per-stream log stats plus checkpoint
         and recovery bookkeeping (the ``.log`` monitor pane)."""
+        streams: Dict[str, Any] = {}
+        for name, log in sorted(self._logs.items()):
+            entry = log.stats()
+            basket = self.scheduler.baskets.get(name)
+            if basket is not None and basket.pager is not None:
+                entry["pager"] = basket.pager.stats()
+            streams[name] = entry
         out: Dict[str, Any] = {
             "data_dir": self.data_dir,
             "durability": self.durability,
             "recovered": int(self.recovered),
             "checkpoints": self.checkpoints,
             "last_checkpoint_ms": round(self.last_checkpoint_ms, 3),
-            "streams": {name: log.stats()
-                        for name, log in sorted(self._logs.items())}}
+            "retain_ms": self.retain_ms,
+            "retain_bytes": self.retain_bytes,
+            "retention_rows_dropped": self.retention_rows_dropped,
+            "streams": streams}
         if self.last_checkpoint_error is not None:
             out["checkpoint_error"] = repr(self.last_checkpoint_error)
         return out

@@ -13,6 +13,14 @@ Two concrete factories implement the demo's two execution modes:
 * :class:`IncrementalFactory` — processes each basic window once through
   the per-slice pipeline, caches intermediates, and merges at firing
   time (see :mod:`repro.core.incremental`).
+
+Every mode reads its windows through the basket (``basket.relation`` /
+``recycler.window_slice`` / ``DeltaFactory._read``), so a window whose
+lo bound dips below the basket's vacuum floor is transparently served
+from log-resident history when the basket carries a paged binder
+(:class:`~repro.store.paging.PagedWindowBinder`) — replay and recovered
+cursors fire over multi-day logs without the factory materializing or
+even knowing about the historic prefix.
 """
 
 from __future__ import annotations

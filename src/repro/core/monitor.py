@@ -267,6 +267,26 @@ class Monitor:
                 + (f" torn={s['torn_rows']}" if s["torn_rows"]
                    else "")
                 + (f" FAILED: {s['failed']}" if s["failed"] else ""))
+            knobs = []
+            if s.get("retain_ms") is not None:
+                knobs.append(f"retain_ms={s['retain_ms']}")
+            if s.get("retain_bytes") is not None:
+                knobs.append(f"retain_bytes={s['retain_bytes']}")
+            retention = (
+                f"    retention [{' '.join(knobs) if knobs else 'off'}]"
+                f": floor={s.get('durable_floor', 0)} "
+                f"retained={s.get('retained_bytes', 0)} bytes "
+                f"truncations={s.get('retention_truncations', 0)} "
+                f"dropped={s.get('retention_rows', 0)} rows")
+            pager = s.get("pager")
+            if pager is not None:
+                retention += (
+                    f" | paged: reads={pager['paged_reads']} "
+                    f"rows={pager['paged_rows']} "
+                    f"mapped={pager['mapped_files']} "
+                    f"(hit {pager['map_hits']}/"
+                    f"{pager['map_hits'] + pager['map_misses']})")
+            lines.append(retention)
         if not stats["streams"]:
             lines.append("  (no stream logs open)")
         return "\n".join(lines)

@@ -16,6 +16,17 @@ Two layers live here:
 Tuple windows count tuples; time windows use basket arrival timestamps
 (milliseconds). For tumbling windows ``slide == size`` and both modes
 coincide.
+
+Log-resident history: both cursors express windows as absolute oid
+ranges and read them through the basket (``relation``,
+``arrival_slice``, ``oid_at_or_after``). When the basket carries a
+:class:`~repro.store.paging.PagedWindowBinder` those reads extend
+*below* ``first_oid`` down to the log's retention floor — a
+``from_start`` replay cursor or a recovered cursor whose window dips
+under the vacuum floor pages sealed segments as zero-copy views
+instead of clamping to the retained prefix (or rehydrating the whole
+range into memory). Neither cursor needs to know which side of
+``first_oid`` its bounds fall on.
 """
 
 from __future__ import annotations
@@ -134,7 +145,15 @@ class WindowState:
     # -- window extent -----------------------------------------------
 
     def slice_bounds(self, now: int) -> Tuple[int, int]:
-        """Absolute oid range [lo, hi) the next firing evaluates."""
+        """Absolute oid range [lo, hi) the next firing evaluates.
+
+        The lo bound may fall below ``basket.first_oid`` (a replay
+        cursor, or a time window anchored before the vacuum floor);
+        the basket then serves the historic prefix through its paged
+        binder when one is attached. ``basket.oid_at_or_after`` is
+        pager-aware for the same reason: a time bound predating the
+        retained arrivals resolves against the log's ``__ts``
+        segments rather than snapping to ``first_oid``."""
         if self.spec.kind == "none":
             return self.sub.read_upto, self.basket.next_oid
         if self.spec.kind == "tuple":
@@ -351,9 +370,13 @@ class BasicWindowTracker:
         """Durable cursor state (engine checkpoint).
 
         ``floor_oid`` — the lo bound of the next full window — is
-        computed *now*, while the basket still holds the arrival data a
-        time-based tracker needs; recovery rebuilds the basket from at
-        least this oid and reprocesses basic windows from there
+        computed *now*; for time windows this consults
+        ``basket.oid_at_or_after``, which pages into log-resident
+        arrivals when part of the next window has already been
+        vacuumed (without the pager the lookup would snap to
+        ``first_oid`` and the snapshot would over-report the floor).
+        Recovery restores the cursor here and serves any basic window
+        dipping below the rebuilt basket through the paged binder
         (cached intermediates are not persisted).
         """
         floor_oid, _ = self._bw_bounds(self._next_window)

@@ -81,6 +81,26 @@ class StoreError(DataCellError):
     """Raised by the durable stream log (segments, manifest, recovery)."""
 
 
+class ReplayGap(StoreError):
+    """Raised when a replay asks for history below the retention floor.
+
+    A caller that registered ``from_start``/``from_offset`` believes it
+    will see *all* history from the requested offset; when retention
+    (or a short log) has already discarded part of that range, silently
+    serving the surviving suffix would claim completeness the data
+    cannot back. ``requested`` is the offset the caller asked for and
+    ``floor`` the oldest offset that still exists — re-request at or
+    above ``floor`` to acknowledge the gap.
+    """
+
+    def __init__(self, message: str, stream: str = "",
+                 requested: int = 0, floor: int = 0):
+        super().__init__(message)
+        self.stream = stream
+        self.requested = requested
+        self.floor = floor
+
+
 class InjectedCrash(Exception):
     """Raised by the segment writer's fault-injection hook.
 

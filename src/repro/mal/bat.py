@@ -210,6 +210,30 @@ class BAT:
         bat.hseqbase = hseqbase
         return bat
 
+    @classmethod
+    def adopt_view(cls, dtype: dt.DataType, array: np.ndarray,
+                   hseqbase: int = 0) -> "BAT":
+        """Wrap a read-only view (e.g. an ``np.memmap`` over a sealed
+        log segment) without copying.
+
+        Unlike :meth:`adopt_array` this does **not** require ownership
+        or writability — the caller guarantees the backing storage is
+        immutable for the BAT's lifetime. Kernels only ever read
+        operand BATs, so a mapped segment window flows through plans
+        untouched; anything that must mutate goes through fresh result
+        arrays anyway. Falls back to a copy only on a dtype mismatch.
+        """
+        if (isinstance(array, np.ndarray) and array.ndim == 1
+                and array.dtype == dtype.np_dtype):
+            bat = cls.__new__(cls)
+            bat.dtype = dtype
+            bat.hseqbase = hseqbase
+            bat._heap = VectorHeap._adopt(dtype, array)
+            return bat
+        bat = cls.from_array(dtype, array)
+        bat.hseqbase = hseqbase
+        return bat
+
     # -- basic accessors ---------------------------------------------
 
     def __len__(self) -> int:

@@ -77,6 +77,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="rows per log segment file")
     serve.add_argument("--checkpoint-interval", type=float, default=2.0,
                        help="seconds between periodic checkpoints")
+    serve.add_argument("--retain-ms", type=int, default=None,
+                       help="drop sealed log segments whose newest "
+                            "tuple is older than this many ms "
+                            "(retention by age)")
+    serve.add_argument("--retain-bytes", type=int, default=None,
+                       help="drop oldest sealed log segments once a "
+                            "stream's log exceeds this many bytes "
+                            "(retention by size)")
 
     send = sub.add_parser("send", help="ingest rows into a stream")
     send.add_argument("stream")
@@ -127,7 +135,9 @@ def _cmd_serve(args, out: IO) -> int:
                             data_dir=args.data_dir,
                             durability=args.durability,
                             segment_rows=args.segment_rows,
-                            checkpoint_interval_s=args.checkpoint_interval)
+                            checkpoint_interval_s=args.checkpoint_interval,
+                            retain_ms=args.retain_ms,
+                            retain_bytes=args.retain_bytes)
     if engine.recovered:
         recovered = engine.log_stats()
         out.write(f"recovered {len(recovered['streams'])} stream "

@@ -133,6 +133,12 @@ class _StreamSubscription:
     as live tuples and splices into them without a gap or duplicate.
     A slow consumer simply lags and later resumes; it is never
     evicted. A basket tap wakes the pump on every append.
+
+    Retention contract: a ``from`` offset below the log's retention
+    floor is not an error — the read path skips the discarded prefix,
+    the first delivered batch starts at the floor, and the rows passed
+    over are counted in ``skipped_rows`` (the ``.net`` pane). The
+    connection stays up; only genuinely dropped streams detach it.
     """
 
     def __init__(self, conn: "_Connection", engine: DataCellEngine,
@@ -147,6 +153,9 @@ class _StreamSubscription:
         self.chunk_rows = max(int(chunk_rows), 1)
         # tuples below this existed before we subscribed: replay
         self.replay_upto = self.basket.next_oid
+        # rows requested but already discarded by retention: the
+        # subscriber lagged to the floor instead of erroring out
+        self.skipped_rows = 0
         self.dead = False
         self._seq = 0
         self._stop = threading.Event()
@@ -181,6 +190,8 @@ class _StreamSubscription:
             except DataCellError:
                 self._detach()  # stream dropped under us
                 return
+            if parts and parts[0][0] > lo:
+                self.skipped_rows += parts[0][0] - lo
             for plo, phi, rel in parts:
                 frame = protocol.result(
                     "", self._seq, self.engine.now(), rel.names,
@@ -201,6 +212,7 @@ class _StreamSubscription:
             if not parts:
                 # everything in [lo, hi) predates what the log
                 # retains; skip forward rather than spin
+                self.skipped_rows += hi - lo
                 self.cursor.advance(hi, 0, True)
             if self._behind and self.cursor.cursor >= \
                     self.basket.next_oid:
@@ -226,6 +238,7 @@ class _StreamSubscription:
         out = self.cursor.stats()
         out.update({"stream": self.stream,
                     "lag": self.cursor.lag(self.basket.next_oid),
+                    "skipped_rows": self.skipped_rows,
                     "dead": self.dead})
         return out
 

@@ -82,13 +82,19 @@ class StreamLog:
     def __init__(self, directory: str, name: str, schema: Schema,
                  segment_rows: int = DEFAULT_SEGMENT_ROWS,
                  durability: str = "async", inline: bool = False,
-                 fault: Optional[seg.FaultInjector] = None):
+                 fault: Optional[seg.FaultInjector] = None,
+                 retain_ms: Optional[int] = None,
+                 retain_bytes: Optional[int] = None):
         if durability not in ("async", "fsync"):
             raise StoreError(
                 f"unknown durability mode {durability!r} for a live log "
                 f"(expected 'async' or 'fsync')")
         if segment_rows < 1:
             raise StoreError("segment_rows must be >= 1")
+        if retain_ms is not None and retain_ms < 0:
+            raise StoreError("retain_ms must be >= 0")
+        if retain_bytes is not None and retain_bytes < 0:
+            raise StoreError("retain_bytes must be >= 0")
         if any(c.name == ARRIVAL_COLUMN for c in schema.columns):
             raise StoreError(
                 f"column name {ARRIVAL_COLUMN!r} is reserved by the log")
@@ -98,6 +104,8 @@ class StreamLog:
         self.segment_rows = int(segment_rows)
         self.durability = durability
         self.inline = bool(inline)
+        self.retain_ms = retain_ms
+        self.retain_bytes = retain_bytes
         self._fault = fault
         # (name, dtype) for every persisted file of a segment: the
         # schema columns plus the arrival-timestamp column
@@ -124,6 +132,10 @@ class StreamLog:
         self.fsyncs = 0
         self.bytes_written = 0
         self.appends = 0
+        self.retention_truncations = 0
+        self.retention_rows = 0
+        # per-sealed-segment (bytes, last __ts) cache for retention
+        self._seg_cache: Dict[int, Tuple[int, Optional[int]]] = {}
 
         os.makedirs(directory, exist_ok=True)
         manifest_path = os.path.join(directory, MANIFEST)
@@ -153,6 +165,13 @@ class StreamLog:
         ``durability="fsync"``). The basket's vacuum floor — data not
         yet durable must never be dropped from memory."""
         return self._durable
+
+    @property
+    def durable_floor(self) -> int:
+        """Oldest offset the log still holds. 0 until retention has
+        dropped a segment; readers asking below this either clamp
+        (:meth:`read_clamped`) or fail (:meth:`read`)."""
+        return self._segments[0].base if self._segments else 0
 
     def backlog_batches(self) -> int:
         return len(self._pending)
@@ -378,26 +397,39 @@ class StreamLog:
 
     # -- reading --------------------------------------------------------
 
-    def read(self, lo: int, hi: int
-             ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
-        """Columns + arrival timestamps for offsets ``[lo, hi)``.
+    def _empty_read(self, actual_lo: int
+                    ) -> Tuple[Dict[str, np.ndarray], np.ndarray, int]:
+        empty = {c.name: c.dtype.empty(0)
+                 for c in self.schema.columns}
+        return empty, dt.TIMESTAMP.empty(0), actual_lo
 
-        Only durable offsets are readable; *hi* is clamped to the
-        durable watermark. Returns fresh owning arrays per column,
-        ready for zero-copy basket adoption.
+    def read_clamped(self, lo: int, hi: int
+                     ) -> Tuple[Dict[str, np.ndarray], np.ndarray, int]:
+        """Columns + arrivals for the *retained* part of ``[lo, hi)``.
+
+        *hi* is clamped to the durable watermark and *lo* to the
+        retention floor; the returned rows cover ``[actual_lo, hi)``
+        with ``actual_lo >= lo``. ``actual_lo > lo`` means retention
+        has discarded ``[lo, actual_lo)`` — the caller decides whether
+        that gap is acceptable (a lagging subscriber catches up from
+        the floor) or fatal (:meth:`read` raises, ``from_start``
+        registration surfaces :class:`~repro.errors.ReplayGap`).
+        Returns fresh owning arrays, ready for basket adoption.
         """
         lo = max(lo, 0)
         hi = min(hi, self._durable)
         if hi <= lo:
-            empty = {c.name: c.dtype.empty(0)
-                     for c in self.schema.columns}
-            return empty, dt.TIMESTAMP.empty(0)
+            return self._empty_read(lo)
         with self._cv:
             segments = list(self._segments)
+        floor = segments[0].base if segments else 0
+        actual_lo = min(max(lo, floor), hi)
+        if hi <= actual_lo:
+            return self._empty_read(actual_lo)
         parts: Dict[str, List[np.ndarray]] = \
             {col: [] for col, _ in self._cols}
         for info in segments:
-            s_lo = max(lo, info.base)
+            s_lo = max(actual_lo, info.base)
             s_hi = min(hi, info.end)
             if s_hi <= s_lo:
                 continue
@@ -415,12 +447,31 @@ class StreamLog:
                 merged = np.concatenate(chunks) if chunks \
                     else dtype.empty(0)
             out[col] = merged
-        if sum(len(c) for c in parts[ARRIVAL_COLUMN]) != hi - lo:
+        found = sum(len(c) for c in parts[ARRIVAL_COLUMN])
+        if found != hi - actual_lo:
             raise StoreError(
-                f"log {self.name!r}: read [{lo},{hi}) found "
-                f"{sum(len(c) for c in parts[ARRIVAL_COLUMN])} rows")
+                f"log {self.name!r}: read [{actual_lo},{hi}) found "
+                f"{found} rows (segment table is inconsistent with "
+                f"the column files)")
         arrival = out.pop(ARRIVAL_COLUMN)
-        return out, arrival
+        return out, arrival, actual_lo
+
+    def read(self, lo: int, hi: int
+             ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+        """Columns + arrival timestamps for offsets ``[lo, hi)``.
+
+        Only durable offsets are readable; *hi* is clamped to the
+        durable watermark. Strict about the low end: raises
+        :class:`StoreError` when ``[lo, hi)`` dips below the retention
+        floor — use :meth:`read_clamped` to lag to the floor instead.
+        """
+        cols, arrival, actual_lo = self.read_clamped(lo, hi)
+        if actual_lo > max(lo, 0):
+            raise StoreError(
+                f"log {self.name!r}: read [{lo},{hi}) dips below the "
+                f"retention floor {actual_lo} "
+                f"({actual_lo - max(lo, 0)} rows discarded)")
+        return cols, arrival
 
     # -- truncation (recovery of regenerable output streams) ------------
 
@@ -461,19 +512,146 @@ class StreamLog:
                 kept[-1].sealed = False
             self._segments = kept
             self._next = self._durable = kept[-1].end
+            self._seg_cache.clear()
             self._write_manifest()
             self._open_handles()
             return cut
 
+    # -- retention ------------------------------------------------------
+
+    def segment_table(self) -> List[SegmentInfo]:
+        """Snapshot of the segment table (copies, safe to hold)."""
+        with self._cv:
+            return [SegmentInfo(s.base, s.rows, s.sealed)
+                    for s in self._segments]
+
+    def column_path(self, base: int, col: str) -> str:
+        """Path of one segment's column file (``__ts`` for arrivals)."""
+        return self._col_path(base, col)
+
+    def _segment_stats(self, info: SegmentInfo
+                       ) -> Tuple[int, Optional[int]]:
+        """``(bytes_on_disk, last_arrival_ts)`` of one segment; cached
+        for sealed (immutable) segments."""
+        cached = self._seg_cache.get(info.base)
+        if cached is not None:
+            return cached
+        nbytes = 0
+        for col, _dtype in self._cols:
+            try:
+                nbytes += os.path.getsize(self._col_path(info.base, col))
+            except OSError:
+                pass
+        last_ts: Optional[int] = None
+        if info.rows > 0:
+            path = self._col_path(info.base, ARRIVAL_COLUMN)
+            try:
+                with open(path, "rb") as f:
+                    f.seek((info.rows - 1) * 8)
+                    raw = f.read(8)
+                if len(raw) == 8:
+                    last_ts = int(np.frombuffer(raw, dtype="<i8")[0])
+            except OSError:
+                last_ts = None
+        result = (nbytes, last_ts)
+        if info.sealed:
+            self._seg_cache[info.base] = result
+        return result
+
+    def retained_bytes(self) -> int:
+        with self._cv:
+            segments = list(self._segments)
+        return sum(self._segment_stats(s)[0] for s in segments)
+
+    def apply_retention(self, now_ms: int,
+                        protect_offset: Optional[int] = None) -> int:
+        """Drop whole sealed segments per ``retain_ms``/``retain_bytes``.
+
+        Only prefixes of *sealed* segments are droppable — never the
+        unsealed tail, and never a segment reaching at or above
+        *protect_offset* (the engine passes the minimum of the basket's
+        retained floor and every checkpointed cursor, so recovery and
+        paged windows always find what they still need). Age drops
+        segments whose last arrival is older than ``retain_ms`` before
+        *now_ms*; bytes drops oldest-first until the log fits in
+        ``retain_bytes``. Returns rows discarded; the durable floor
+        advances past them.
+
+        Readers never block on this: sealed segment files are immutable
+        and only ever unlinked, so an ``np.memmap`` bound before the
+        unlink stays valid (POSIX keeps the inode alive until the last
+        map goes away).
+        """
+        if self.retain_ms is None and self.retain_bytes is None:
+            return 0
+        with self._cv:
+            segments = self._segments
+            limit = len(segments) - 1  # never the active tail
+            droppable = 0
+            for info in segments[:limit]:
+                if not info.sealed:
+                    break
+                if protect_offset is not None \
+                        and info.end > protect_offset:
+                    break
+                droppable += 1
+            if droppable == 0:
+                return 0
+            k = 0
+            if self.retain_ms is not None:
+                cutoff = now_ms - self.retain_ms
+                while k < droppable:
+                    _b, last_ts = self._segment_stats(segments[k])
+                    if last_ts is None or last_ts >= cutoff:
+                        break
+                    k += 1
+            if self.retain_bytes is not None:
+                sizes = [self._segment_stats(s)[0] for s in segments]
+                total = sum(sizes[k:])
+                while total > self.retain_bytes and k < droppable:
+                    total -= sizes[k]
+                    k += 1
+            if k == 0:
+                return 0
+            dropped = segments[:k]
+            self._segments = segments[k:]
+            rows = sum(s.rows for s in dropped)
+            self.retention_truncations += 1
+            self.retention_rows += rows
+            self._write_manifest()
+            for info in dropped:
+                self._delete_segment_files(info.base)
+                self._seg_cache.pop(info.base, None)
+            return rows
+
     # -- lifecycle ------------------------------------------------------
 
-    def close(self) -> None:
-        """Drain, stop the writer, and persist a clean manifest."""
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain, stop the writer, and persist a clean manifest.
+
+        If the writer thread does not stop within *timeout* it may
+        still be appending — writing a "clean" manifest then would
+        declare rows durable that a wedged write may never complete.
+        In that case the log records a :class:`StoreError` in
+        ``self.failed``, leaves the handles open for the stuck writer,
+        and skips the manifest write; the next open recovers via the
+        normal torn-tail scan.
+        """
         with self._cv:
             self._stop = True
             self._cv.notify_all()
-        if self._writer is not None:
-            self._writer.join(timeout=30.0)
+        writer = self._writer
+        if writer is not None:
+            writer.join(timeout=timeout)
+            if writer.is_alive():
+                with self._cv:
+                    if self.failed is None:
+                        self.failed = StoreError(
+                            f"stream log {self.name!r}: writer thread "
+                            f"still running after {timeout:.0f}s close "
+                            f"timeout; manifest not rewritten")
+                    self._cv.notify_all()
+                return
             self._writer = None
         with self._cv:
             if self.failed is None and self._pending:
@@ -494,6 +672,12 @@ class StreamLog:
                 "segment_rows": self.segment_rows,
                 "next_offset": self._next,
                 "durable_offset": self._durable,
+                "durable_floor": self.durable_floor,
+                "retain_ms": self.retain_ms,
+                "retain_bytes": self.retain_bytes,
+                "retention_truncations": self.retention_truncations,
+                "retention_rows": self.retention_rows,
+                "retained_bytes": self.retained_bytes(),
                 "backlog_batches": self.backlog_batches(),
                 "backlog_rows": self.backlog_rows(),
                 "groups": self.groups,

@@ -1,0 +1,227 @@
+"""Paged window binding: zero-copy BAT views over sealed log segments.
+
+The durable log keeps vacuumed history on disk; until now the only way
+a factory could window over it was :meth:`Basket.rehydrate` — a full
+``np.concatenate`` copy of the *entire* missing range back into basket
+memory, which defeats the point of vacuuming and makes ``from_start``
+registration over a long log an O(history) allocation.
+
+:class:`PagedWindowBinder` instead binds sealed segment files as
+read-only ``np.memmap`` views (``segment.map_rows``) and hands windows
+out as BATs adopted over those views (``BAT.adopt_view``) — only the
+pages a kernel actually touches are ever faulted in, so peak RSS tracks
+the *window*, not the log. String columns have no fixed stride and fall
+back to the copying ``segment.read_rows``; so does the unsealed tail
+segment (its file is still being appended — only sealed, immutable
+files are mapped). Windows spanning several segments are stitched with
+one bounded copy of just the window.
+
+The binder is attached to a basket (``Basket.attach_pager``); the
+basket's read paths — ``relation``, ``arrival_slice``,
+``oid_at_or_after``, ``clamp_range`` — consult it whenever a requested
+range dips below ``first_oid``, which is how ``WindowState`` and
+``BasicWindowTracker`` transparently window over log-resident history.
+
+Retention safety: sealed segment files are immutable and only ever
+*unlinked* (never rewritten), so on POSIX a mapping bound before the
+unlink stays valid — the kernel keeps the inode until the last map is
+dropped. The binder re-checks ``log.durable_floor`` before binding, so
+new reads never start below the retention floor.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.mal.bat import BAT
+from repro.mal.relation import Relation
+from repro.storage import types as dt
+from repro.storage.schema import Schema
+from repro.store import segment as seg
+from repro.store.log import ARRIVAL_COLUMN, SegmentInfo, StreamLog
+
+DEFAULT_MAX_MAPPED_SEGMENTS = 32
+
+
+class PagedWindowBinder:
+    """Windows over log-resident history as (mostly) zero-copy BATs.
+
+    One binder per (basket, log) pair. Thread-safe: the map cache has
+    its own lock and segment files below the durable watermark are
+    immutable, so concurrent factory reads need no basket lock.
+    """
+
+    def __init__(self, log: StreamLog, schema: Schema,
+                 max_mapped_segments: int = DEFAULT_MAX_MAPPED_SEGMENTS):
+        self.log = log
+        self.schema = schema
+        self.max_mapped_segments = max(1, int(max_mapped_segments))
+        # LRU of (segment base, column) -> memmap; capped in *entries*
+        # (segments x columns) so wide schemas do not hold every
+        # segment of the log mapped at once
+        self._maps: "OrderedDict[Tuple[int, str], np.ndarray]" = \
+            OrderedDict()
+        self._lock = threading.Lock()
+        self.map_hits = 0
+        self.map_misses = 0
+        self.paged_reads = 0
+        self.paged_rows = 0
+
+    @property
+    def floor(self) -> int:
+        """Oldest offset still pageable (the log's retention floor)."""
+        return self.log.durable_floor
+
+    # -- segment access -------------------------------------------------
+
+    def _max_entries(self) -> int:
+        return self.max_mapped_segments * (len(self.schema.columns) + 1)
+
+    def _mapped(self, info: SegmentInfo, col: str,
+                dtype: dt.DataType) -> Optional[np.ndarray]:
+        """Whole-segment memmap for one sealed fixed-width column, or
+        ``None`` when the segment must be read by copy (string column,
+        unsealed tail, map failure)."""
+        if not info.sealed or dtype.is_string or info.rows == 0:
+            return None
+        key = (info.base, col)
+        with self._lock:
+            mm = self._maps.get(key)
+            if mm is not None:
+                self._maps.move_to_end(key)
+                self.map_hits += 1
+                return mm
+        try:
+            mm = seg.map_rows(dtype, self.log.column_path(info.base, col),
+                              0, info.rows)
+        except StoreError:
+            return None
+        with self._lock:
+            self.map_misses += 1
+            self._maps[key] = mm
+            while len(self._maps) > self._max_entries():
+                self._maps.popitem(last=False)
+        return mm
+
+    def _column_chunks(self, col: str, dtype: dt.DataType, lo: int,
+                       hi: int, segments: List[SegmentInfo]
+                       ) -> List[np.ndarray]:
+        chunks: List[np.ndarray] = []
+        for info in segments:
+            s_lo = max(lo, info.base)
+            s_hi = min(hi, info.end)
+            if s_hi <= s_lo:
+                continue
+            start = s_lo - info.base
+            count = s_hi - s_lo
+            mm = self._mapped(info, col, dtype)
+            if mm is not None:
+                chunks.append(mm[start:start + count])
+            else:
+                chunks.append(seg.read_rows(
+                    dtype, self.log.column_path(info.base, col),
+                    start, count))
+        return chunks
+
+    def _clamp(self, lo: int, hi: int,
+               segments: List[SegmentInfo]) -> Tuple[int, int]:
+        floor = segments[0].base if segments else 0
+        lo = max(lo, floor)
+        hi = min(hi, self.log.durable_offset)
+        return lo, max(lo, hi)
+
+    # -- window reads ---------------------------------------------------
+
+    def relation(self, lo: int, hi: int) -> Relation:
+        """Log offsets ``[lo, hi)`` as a relation of read-only BATs.
+
+        Single-segment fixed-width windows are pure views
+        (``BAT.adopt_view`` over a memmap slice); multi-segment windows
+        and string columns pay one copy bounded by the window size —
+        never the log size. *lo* clamps to the retention floor; the
+        caller detects the clamp via row count if it cares.
+        """
+        segments = self.log.segment_table()
+        lo, hi = self._clamp(lo, hi, segments)
+        cols = []
+        for coldef in self.schema.columns:
+            chunks = self._column_chunks(coldef.name, coldef.dtype,
+                                         lo, hi, segments)
+            if len(chunks) == 1:
+                arr = chunks[0]
+                if arr.flags.owndata and arr.flags.writeable:
+                    bat = BAT.adopt_array(coldef.dtype, arr, hseqbase=lo)
+                else:
+                    bat = BAT.adopt_view(coldef.dtype, arr, hseqbase=lo)
+            elif chunks:
+                bat = BAT.adopt_array(coldef.dtype,
+                                      np.concatenate(chunks),
+                                      hseqbase=lo)
+            else:
+                bat = BAT(coldef.dtype, hseqbase=lo)
+            cols.append((coldef.name, bat))
+        self.paged_reads += 1
+        self.paged_rows += hi - lo
+        return Relation(cols)
+
+    def arrival(self, lo: int, hi: int) -> np.ndarray:
+        """Arrival timestamps for ``[lo, hi)`` (read-only; may be a
+        memmap view — do not mutate)."""
+        segments = self.log.segment_table()
+        lo, hi = self._clamp(lo, hi, segments)
+        chunks = self._column_chunks(ARRIVAL_COLUMN, dt.TIMESTAMP,
+                                     lo, hi, segments)
+        if not chunks:
+            return dt.TIMESTAMP.empty(0)
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.concatenate(chunks)
+
+    def oid_at_or_after(self, instant_ms: int, hi_oid: int) -> int:
+        """Smallest log offset in ``[floor, hi_oid)`` whose arrival is
+        ``>= instant_ms``; *hi_oid* when there is none.
+
+        Arrival times are monotone across the log, so this walks the
+        segment table and binary-searches inside the first segment
+        whose last arrival reaches *instant_ms* — O(segments + log
+        slide), touching at most one segment's timestamp file.
+        """
+        segments = self.log.segment_table()
+        for info in segments:
+            if info.base >= hi_oid or info.rows == 0:
+                continue
+            count = min(hi_oid, min(info.end, self.log.durable_offset)) \
+                - info.base
+            if count <= 0:
+                continue
+            ts = self._mapped(info, ARRIVAL_COLUMN, dt.TIMESTAMP)
+            if ts is None:
+                ts = seg.read_rows(
+                    dt.TIMESTAMP,
+                    self.log.column_path(info.base, ARRIVAL_COLUMN),
+                    0, count)
+            sub = ts[:count]
+            if len(sub) == 0 or sub[-1] < instant_ms:
+                continue
+            pos = int(np.searchsorted(sub, instant_ms, side="left"))
+            return info.base + pos
+        return hi_oid
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            mapped = len(self._maps)
+        return {"floor": self.floor,
+                "mapped_files": mapped,
+                "map_hits": self.map_hits,
+                "map_misses": self.map_misses,
+                "paged_reads": self.paged_reads,
+                "paged_rows": self.paged_rows}
+
+    def __repr__(self) -> str:
+        return (f"PagedWindowBinder({self.log.name}, "
+                f"floor={self.floor}, mapped={len(self._maps)})")

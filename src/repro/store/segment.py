@@ -215,6 +215,33 @@ def row_byte_extent(dtype: dt.DataType, path: str, rows: int) -> int:
     return clean
 
 
+def map_rows(dtype: dt.DataType, path: str, start: int,
+             count: int) -> Optional[np.ndarray]:
+    """Zero-copy read-only view of *count* rows starting at *start*.
+
+    Fixed-width columns of a **sealed** segment map straight off disk
+    via ``np.memmap`` — no bytes are materialized until a kernel walks
+    the window. Returns ``None`` for string columns (length-prefixed
+    frames have no fixed stride; callers fall back to the copying
+    :func:`read_rows`). The caller must treat the array as immutable
+    and must only map sealed segments: the file is never rewritten in
+    place, so on POSIX the mapping stays valid even after retention
+    unlinks the file.
+    """
+    if dtype.is_string:
+        return None
+    if count <= 0:
+        return dtype.empty(0)
+    item = dtype.np_dtype.itemsize
+    try:
+        mm = np.memmap(path, dtype=dtype.np_dtype, mode="r",
+                       offset=start * item, shape=(count,))
+    except (OSError, ValueError) as exc:
+        raise StoreError(f"cannot map segment column {path}: "
+                         f"{exc}") from exc
+    return mm
+
+
 def read_rows(dtype: dt.DataType, path: str, start: int,
               count: int) -> np.ndarray:
     """Read *count* storage values starting at row *start*.

@@ -1,9 +1,12 @@
 """The durable stream log (:mod:`repro.store`): segment codecs,
 torn-tail truncation, group commit and fault injection at the log
-layer; checkpoint/recovery equivalence at the engine layer (unit cases
-per execution mode plus a hypothesis crash-at-arbitrary-point sweep);
-and the network replay path — subscribe-from-offset splicing history
-into live delivery with no gap and no duplicate, acked-offset resume,
+layer; retention (truncate-by-age/bytes, clamped reads, the durable
+floor) and the paged-window binder serving log-resident history as
+zero-copy views; checkpoint/recovery equivalence at the engine layer
+(unit cases per execution mode plus a hypothesis
+crash-at-arbitrary-point sweep); and the network replay path —
+subscribe-from-offset splicing history into live delivery with no gap
+and no duplicate, acked-offset resume, lag-to-floor after retention,
 and the ``repro tail`` reconnect loop."""
 
 import io
@@ -19,11 +22,12 @@ from repro.core.basket import Basket
 from repro.core.clock import SimulatedClock, WallClock
 from repro.core.engine import DataCellEngine
 from repro.core.receptor import SocketReceptor
-from repro.errors import InjectedCrash, StoreError, StreamError
+from repro.errors import (InjectedCrash, ReplayGap, StoreError,
+                          StreamError)
 from repro.storage import Schema
 from repro.storage import types as dt
 from repro.store import (ARRIVAL_COLUMN, CRASH_ENV, FaultInjector,
-                         StreamLog)
+                         PagedWindowBinder, StreamLog)
 from repro.store import segment as seg
 
 SCHEMA = Schema.parse([("k", "INT"), ("v", "FLOAT"), ("tag", "STRING")])
@@ -788,3 +792,527 @@ class TestServeCli:
              "--duration", "0.2"], out=out2)
         assert rc == 0
         assert "recovered" in out2.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# retention: durable floor, clamped reads, truncate-by-age / bytes
+# ---------------------------------------------------------------------------
+
+
+class TestRetention:
+    def make(self, tmp_path, **kw):
+        kw.setdefault("segment_rows", 8)
+        kw.setdefault("durability", "fsync")
+        return StreamLog(str(tmp_path / "s"), "s", SCHEMA,
+                         inline=True, **kw)
+
+    def fill(self, log, segments=3):
+        # segment arrivals: 0, 80, 160, ... (batch stamps ts = 10 * lo)
+        for i in range(segments):
+            cols, ts = batch(i * 8, 8)
+            log.append(cols, ts)
+
+    def test_noop_without_knobs(self, tmp_path):
+        log = self.make(tmp_path)
+        self.fill(log)
+        assert log.apply_retention(now_ms=10 ** 9) == 0
+        assert log.durable_floor == 0
+        log.close()
+
+    def test_retain_bytes_drops_oldest_sealed(self, tmp_path):
+        log = self.make(tmp_path, retain_bytes=0)
+        self.fill(log)
+        assert log.durable_floor == 0
+        assert log.apply_retention(now_ms=0) == 24
+        assert log.durable_floor == 24
+        stats = log.stats()
+        assert stats["retention_truncations"] == 1
+        assert stats["retention_rows"] == 24
+        # dropped segment files are gone from disk
+        assert not os.path.exists(
+            os.path.join(str(tmp_path / "s"), f"{0:012d}.k"))
+        # appends continue past the floor
+        cols, ts = batch(24, 2)
+        assert log.append(cols, ts) == (24, 26)
+        log.close()
+
+    def test_retain_ms_drops_aged_segments(self, tmp_path):
+        log = self.make(tmp_path, retain_ms=100)
+        self.fill(log)  # last arrivals per segment: 0, 80, 160
+        assert log.apply_retention(now_ms=200) == 16
+        assert log.durable_floor == 16
+        # the young segment and the tail survive and read strictly
+        out, _ = log.read(16, 24)
+        assert out["k"].tolist() == list(range(16, 24))
+        log.close()
+
+    def test_read_clamped_lags_strict_read_raises(self, tmp_path):
+        log = self.make(tmp_path, retain_ms=100)
+        self.fill(log)
+        log.apply_retention(now_ms=200)
+        cols, arrival, actual_lo = log.read_clamped(0, 24)
+        assert actual_lo == 16
+        assert cols["k"].tolist() == list(range(16, 24))
+        assert arrival.tolist() == [160] * 8
+        with pytest.raises(StoreError, match="retention floor"):
+            log.read(0, 24)
+        # a fully-discarded range comes back empty, never an error
+        _cols, arr, lo = log.read_clamped(0, 10)
+        assert len(arr) == 0 and lo == 10
+        log.close()
+
+    def test_protect_offset_and_tail_pin_segments(self, tmp_path):
+        log = self.make(tmp_path, retain_bytes=0)
+        self.fill(log)
+        # protect offset 12 pins the segment [8,16) and everything above
+        assert log.apply_retention(now_ms=0, protect_offset=12) == 8
+        assert log.durable_floor == 8
+        # unprotected, the sealed rest drops — but never the open tail
+        assert log.apply_retention(now_ms=0) == 16
+        assert log.durable_floor == 24
+        assert log.apply_retention(now_ms=0) == 0
+        log.close()
+
+    def test_reopen_after_retention_keeps_floor(self, tmp_path):
+        log = self.make(tmp_path, retain_ms=100)
+        self.fill(log)
+        log.apply_retention(now_ms=200)
+        log.close()
+        log2 = self.make(tmp_path)
+        assert log2.durable_floor == 16
+        assert log2.next_offset == 24
+        out, _ = log2.read(16, 24)
+        assert out["k"].tolist() == list(range(16, 24))
+        with pytest.raises(StoreError):
+            log2.read(0, 24)
+        log2.close()
+
+    def test_knob_validation(self, tmp_path):
+        with pytest.raises(StoreError, match="retain_ms"):
+            self.make(tmp_path, retain_ms=-1)
+        with pytest.raises(StoreError, match="retain_bytes"):
+            self.make(tmp_path, retain_bytes=-1)
+
+
+# ---------------------------------------------------------------------------
+# close(): a wedged writer must not leave a clean manifest behind
+# ---------------------------------------------------------------------------
+
+
+class TestCloseWedgedWriter:
+    def test_close_timeout_records_failure_skips_manifest(
+            self, tmp_path):
+        log = StreamLog(str(tmp_path / "s"), "s", SCHEMA,
+                        inline=False, segment_rows=8,
+                        durability="fsync")
+        cols, ts = batch(0, 4)
+        log.append(cols, ts)
+        log.flush()
+        manifest = tmp_path / "s" / "manifest.json"
+        before = manifest.read_text()
+
+        class WedgedWriter:
+            def join(self, timeout=None):
+                pass
+
+            def is_alive(self):
+                return True
+
+        real = log._writer
+        log._writer = WedgedWriter()
+        log.close(timeout=0.01)
+        assert isinstance(log.failed, StoreError)
+        assert "close timeout" in str(log.failed)
+        # no clean manifest while the writer may still be appending
+        assert manifest.read_text() == before
+        # real shutdown (the loop saw _stop) for cleanup; the failure
+        # sticks, so the manifest stays dirty and the next open runs
+        # the torn-tail scan instead of trusting it
+        log._writer = real
+        log.close()
+        assert manifest.read_text() == before
+        log2 = StreamLog(str(tmp_path / "s"), "s", SCHEMA,
+                         inline=True, segment_rows=8,
+                         durability="fsync")
+        assert log2.next_offset == 4
+        log2.close()
+
+
+# ---------------------------------------------------------------------------
+# paged window binder: zero-copy views over sealed segments
+# ---------------------------------------------------------------------------
+
+
+def memmap_backed(values):
+    base = np.asarray(values)
+    while isinstance(base, np.ndarray):
+        if isinstance(base, np.memmap):
+            return True
+        base = base.base
+    return False
+
+
+class TestPagedWindowBinder:
+    def make(self, tmp_path, segments=4, **kw):
+        log = StreamLog(str(tmp_path / "s"), "s", SCHEMA, inline=True,
+                        segment_rows=8, durability="fsync", **kw)
+        for i in range(segments):
+            cols, ts = batch(i * 8, 8)
+            log.append(cols, ts)
+        return log, PagedWindowBinder(log, SCHEMA)
+
+    def test_single_segment_window_is_zero_copy(self, tmp_path):
+        log, pager = self.make(tmp_path)
+        rel = pager.relation(8, 16)
+        assert rel.row_count == 8
+        k = rel.column("k")
+        assert k.hseqbase == 8
+        assert k.values.tolist() == list(range(8, 16))
+        # fixed-width columns inside one sealed segment stay views
+        # over the segment file, no copy
+        assert memmap_backed(k.values)
+        assert memmap_backed(rel.column("v").values)
+        # strings have no fixed stride: copying fallback
+        assert not memmap_backed(rel.column("tag").values)
+        pager.relation(8, 16)
+        assert pager.stats()["map_hits"] > 0
+        log.close()
+
+    def test_multi_segment_window_stitches(self, tmp_path):
+        log, pager = self.make(tmp_path)
+        rel = pager.relation(5, 21)
+        assert rel.column("k").values.tolist() == list(range(5, 21))
+        tags = rel.column("tag").values
+        assert list(tags[:2]) == ["t5", None]  # nils round-trip
+        assert rel.column("k").hseqbase == 5
+        log.close()
+
+    def test_clamps_to_floor_and_durable(self, tmp_path):
+        log, pager = self.make(tmp_path, retain_ms=100)
+        log.apply_retention(now_ms=200)  # drops [0,16)
+        assert pager.floor == 16
+        rel = pager.relation(0, 10 ** 6)
+        assert rel.column("k").values.tolist() == list(range(16, 32))
+        assert rel.column("k").hseqbase == 16
+        log.close()
+
+    def test_arrival_and_oid_at_or_after(self, tmp_path):
+        log, pager = self.make(tmp_path)
+        arr = np.asarray(pager.arrival(4, 20))
+        assert arr.tolist() == [0] * 4 + [80] * 8 + [160] * 4
+        # per-segment arrivals: [0,8)=0 [8,16)=80 [16,24)=160 [24,32)=240
+        assert pager.oid_at_or_after(0, 32) == 0
+        assert pager.oid_at_or_after(1, 32) == 8
+        assert pager.oid_at_or_after(80, 32) == 8
+        assert pager.oid_at_or_after(161, 32) == 24
+        assert pager.oid_at_or_after(241, 32) == 32  # nothing newer
+        log.close()
+
+    def test_map_cache_is_bounded(self, tmp_path):
+        log, pager = self.make(tmp_path, segments=6)
+        pager.max_mapped_segments = 2
+        for base in range(0, 48, 8):
+            pager.relation(base, base + 8)
+        stats = pager.stats()
+        # 2 segments * (3 columns + __ts) entries at most
+        assert stats["mapped_files"] <= 2 * 4
+        assert stats["paged_reads"] == 6
+        assert stats["paged_rows"] == 48
+        log.close()
+
+
+# ---------------------------------------------------------------------------
+# basket paging: windows below first_oid read through the binder
+# ---------------------------------------------------------------------------
+
+
+def paged_basket(tmp_path, vacuum_upto=24):
+    basket = Basket("s", SCHEMA)
+    log = StreamLog(str(tmp_path / "s"), "s", SCHEMA, inline=True,
+                    segment_rows=8, durability="fsync")
+    basket.attach_log(log)
+    basket.attach_pager(PagedWindowBinder(log, SCHEMA))
+    rows = [(i, i * 0.5, f"t{i}" if i % 3 else None)
+            for i in range(32)]
+    for i in range(4):
+        basket.append_rows(rows[i * 8:(i + 1) * 8], now=80 * i)
+    if vacuum_upto:
+        sub = basket.subscribe("gc")
+        sub.read_upto = sub.released_upto = vacuum_upto
+        assert basket.vacuum() == vacuum_upto
+        basket.unsubscribe("gc")
+    return basket, log
+
+
+class TestBasketPaging:
+    def test_relation_below_first_oid_pages_and_merges(self, tmp_path):
+        basket, log = paged_basket(tmp_path)
+        assert basket.first_oid == 24
+        rel = basket.relation(4, 28)
+        assert rel.column("k").values.tolist() == list(range(4, 28))
+        assert rel.column("tag").values[2] is None  # oid 6: nil
+        assert basket.pager.stats()["paged_reads"] >= 1
+        assert basket.first_oid == 24  # paged, never rehydrated
+        log.close()
+
+    def test_history_floor_and_clamp(self, tmp_path):
+        basket, log = paged_basket(tmp_path)
+        assert basket.history_floor() == 0
+        assert basket.clamp_range(0, None) == (0, 32)
+        log.close()
+
+    def test_arrival_slice_spans_history(self, tmp_path):
+        basket, log = paged_basket(tmp_path)
+        arr, (lo, hi) = basket.arrival_slice(0, 32)
+        assert (lo, hi) == (0, 32)
+        assert np.asarray(arr).tolist() == \
+            sum(([80 * i] * 8 for i in range(4)), [])
+        log.close()
+
+    def test_oid_at_or_after_pages(self, tmp_path):
+        basket, log = paged_basket(tmp_path)
+        # memory holds [24,32) only; earlier arrivals resolve via the
+        # log's __ts segments instead of snapping to first_oid
+        assert basket.oid_at_or_after(0) == 0
+        assert basket.oid_at_or_after(81) == 16
+        assert basket.oid_at_or_after(240) == 24
+        log.close()
+
+    def test_subscribe_from_start_reaches_floor(self, tmp_path):
+        basket, log = paged_basket(tmp_path)
+        sub = basket.subscribe("replay", from_start=True)
+        assert sub.read_upto == 0  # not clamped to first_oid
+        log.close()
+
+
+# ---------------------------------------------------------------------------
+# engine: retention + replay-gap contract, paged from_start
+# ---------------------------------------------------------------------------
+
+
+def retained_engine(tmp_path):
+    """Durable engine with aggressive retention: feed ROWS through a
+    standing query so vacuum + retention truncate a real prefix."""
+    engine = durable_engine(tmp_path, segment_rows=4, retain_bytes=0,
+                            checkpoint_interval_s=10 ** 6)
+    engine.execute("CREATE STREAM s (sid INT, temp FLOAT)")
+    engine.register_continuous(QUERY, name="q", mode="reeval")
+    drive(engine, ROWS)
+    drain(engine)
+    dropped = engine.apply_retention()
+    assert dropped.get("s", 0) > 0
+    floor = engine.basket("s").history_floor()
+    assert floor > 0
+    return engine, floor
+
+
+class TestEngineRetention:
+    def test_from_offset_below_floor_raises_replay_gap(self, tmp_path):
+        engine, floor = retained_engine(tmp_path)
+        with pytest.raises(ReplayGap) as exc:
+            engine.register_continuous(QUERY, name="late",
+                                       mode="reeval", from_offset=0)
+        assert exc.value.requested == 0
+        assert exc.value.floor == floor
+        # the gap did not half-register anything
+        assert [q.name for q in engine.queries()] == ["q"]
+        # at or above the floor the same registration is fine
+        engine.register_continuous(QUERY, name="late", mode="reeval",
+                                   from_offset=floor)
+        engine.close()
+
+    def test_from_start_lags_to_floor(self, tmp_path):
+        engine, floor = retained_engine(tmp_path)
+        first_before = engine.basket("s").first_oid
+        expected = emissions(engine, "q")
+        engine.register_continuous(QUERY, name="late", mode="reeval",
+                                   from_start=True)
+        drain(engine, steps=20)
+        got = emissions(engine, "late")
+        # fires from the oldest retained offset, converging on the
+        # same windows the live query saw
+        assert got and got[-1] == expected[-1]
+        assert engine.basket("s").first_oid >= first_before
+        engine.close()
+
+    def test_rehydrate_gap_detected(self, tmp_path):
+        engine, floor = retained_engine(tmp_path)
+        basket = engine.basket("s")
+        with pytest.raises(ReplayGap) as exc:
+            engine._rehydrate_stream("s", 0)
+        assert exc.value.floor == floor
+        assert basket.first_oid > floor  # nothing silently rehydrated
+        # acknowledging the gap pulls back the surviving suffix with
+        # an honest base: first_oid lands on the floor, not below
+        first = basket.first_oid
+        n = engine._rehydrate_stream("s", 0, allow_gap=True)
+        assert n == first - floor
+        assert basket.first_oid == floor
+        rel = basket.relation(floor, first)
+        assert rel.row_count == n
+        engine.close()
+
+    def test_read_stream_range_lags_to_floor(self, tmp_path):
+        engine, floor = retained_engine(tmp_path)
+        hi = engine.basket("s").next_oid
+        parts = engine.read_stream_range("s", 0, hi)
+        assert parts[0][0] == floor  # skipped, not raised
+        prev = floor
+        rows = 0
+        for lo, phi, rel in parts:
+            assert lo == prev
+            rows += rel.row_count
+            prev = phi
+        assert prev == hi and rows == hi - floor
+        engine.close()
+
+    def test_from_start_pages_without_rehydration(self, tmp_path):
+        """The tentpole contract: a from_start replay over a vacuumed
+        basket reads history straight out of the log — byte-identical
+        emissions, no rehydration into basket memory."""
+        engine = durable_engine(tmp_path, segment_rows=4)
+        engine.execute("CREATE STREAM s (sid INT, temp FLOAT)")
+        engine.register_continuous(QUERY, name="q", mode="reeval")
+        drive(engine, ROWS)
+        drain(engine)
+        expected = emissions(engine)
+        basket = engine.basket("s")
+        assert basket.first_oid > 0  # vacuum happened
+        first_before = basket.first_oid
+        engine.register_continuous(QUERY, name="late", mode="reeval",
+                                   from_start=True)
+        drain(engine, steps=24)
+        assert emissions(engine, "late") == expected
+        assert basket.first_oid >= first_before  # never rehydrated
+        assert basket.pager.stats()["paged_reads"] > 0
+        engine.close()
+
+    def test_retention_stats_and_log_pane(self, tmp_path):
+        engine, _floor = retained_engine(tmp_path)
+        stats = engine.log_stats()
+        assert stats["retain_bytes"] == 0
+        assert stats["retention_rows_dropped"] > 0
+        s = stats["streams"]["s"]
+        assert s["durable_floor"] > 0
+        assert s["retention_truncations"] >= 1
+        assert "pager" in s
+        pane = engine.monitor.log()
+        assert "retention [" in pane
+        assert "floor=" in pane and "truncations=" in pane
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# network: a subscriber below the retention floor lags, not dies
+# ---------------------------------------------------------------------------
+
+
+class TestNetRetention:
+    def test_subscribe_from_zero_lags_to_floor(self, tmp_path):
+        from repro.net.client import DataCellClient
+        from repro.net.server import DataCellServer
+
+        # inline log: appends persist synchronously, so each 10-row
+        # ingest batch seals its own segment (group commit would fold
+        # the whole backlog into one unprotectable segment)
+        engine = DataCellEngine(clock=WallClock(),
+                                data_dir=str(tmp_path),
+                                durability="async", log_inline=True,
+                                segment_rows=8, retain_bytes=0,
+                                checkpoint_interval_s=10 ** 6)
+        engine.execute("CREATE STREAM s (k INT, v FLOAT)")
+        # a sliding window holds the last stretch in the basket, so
+        # retention truncates a strict prefix of the log
+        engine.register_continuous(
+            "SELECT k, v FROM s [RANGE 16 SLIDE 8]", name="w",
+            mode="reeval")
+        server = DataCellServer(engine, step_interval_s=0.002)
+        server.start()
+        try:
+            with DataCellClient(port=server.port) as producer:
+                ingest_range(producer, 0, 64)
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline \
+                        and engine.basket("s").first_oid < 48:
+                    time.sleep(0.05)
+                engine.checkpoint()  # flush the async writer
+                dropped = engine.apply_retention()
+                assert dropped.get("s", 0) > 0
+                floor = engine.basket("s").history_floor()
+                assert floor > 0
+                with DataCellClient(port=server.port) as consumer:
+                    consumer.subscribe_stream("s", from_offset=0)
+                    ingest_range(producer, 64, 80)
+                    got = []
+                    deadline = time.monotonic() + 8.0
+                    while time.monotonic() < deadline:
+                        got.extend(consumer.results(max_batches=10,
+                                                    timeout=0.5))
+                        if got and got[-1].end == 80:
+                            break
+                    ks = [r[0] for b in got for r in b.rows]
+                    # connection survived; delivery starts at the
+                    # floor and is gapless from there on
+                    assert got[0].offset == floor
+                    assert ks == list(range(floor, 80))
+                    time.sleep(0.2)  # let the server see the acks
+                    stats = consumer.stats()["net"]["connections"]
+                    subs = [sub for c in stats for sub in
+                            c.get("stream_subscriptions", [])]
+                    assert subs and subs[0]["skipped_rows"] == floor
+        finally:
+            server.stop()
+            engine.close()
+
+    def test_fully_truncated_history_counts_skipped_rows(
+            self, tmp_path):
+        from repro.net.client import DataCellClient
+        from repro.net.server import DataCellServer
+
+        # a per-slide-releasing query lets retention drop *every*
+        # sealed segment: the pump's replay chunks then come back
+        # entirely empty (no partial clamp), which must still be
+        # accounted as skipped rows
+        engine = DataCellEngine(clock=WallClock(),
+                                data_dir=str(tmp_path),
+                                durability="async", log_inline=True,
+                                segment_rows=8, retain_bytes=0,
+                                checkpoint_interval_s=10 ** 6)
+        engine.execute("CREATE STREAM s (k INT, v FLOAT)")
+        engine.register_continuous(
+            "SELECT k, v FROM s [RANGE 8 SLIDE 8]", name="w",
+            mode="reeval")
+        server = DataCellServer(engine, step_interval_s=0.002)
+        server.start()
+        try:
+            with DataCellClient(port=server.port) as producer:
+                # chunk == segment_rows: every segment seals exactly
+                # full, so retention can drop all 64 rows
+                ingest_range(producer, 0, 64, chunk=8)
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline \
+                        and engine.basket("s").first_oid < 64:
+                    time.sleep(0.05)
+                engine.checkpoint()
+                engine.apply_retention()
+                floor = engine.basket("s").history_floor()
+                assert floor == 64  # nothing retained below the head
+                with DataCellClient(port=server.port) as consumer:
+                    consumer.subscribe_stream("s", from_offset=0)
+                    ingest_range(producer, 64, 72)
+                    got = []
+                    deadline = time.monotonic() + 8.0
+                    while time.monotonic() < deadline:
+                        got.extend(consumer.results(max_batches=10,
+                                                    timeout=0.5))
+                        if got and got[-1].end == 72:
+                            break
+                    assert got and got[0].offset == 64
+                    time.sleep(0.2)
+                    stats = consumer.stats()["net"]["connections"]
+                    subs = [sub for c in stats for sub in
+                            c.get("stream_subscriptions", [])]
+                    assert subs and subs[0]["skipped_rows"] == 64
+        finally:
+            server.stop()
+            engine.close()
