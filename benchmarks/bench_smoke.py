@@ -12,12 +12,14 @@ mechanics), E10n (network-edge loopback throughput), E11c
 (Z-set delta execution vs incremental vs re-evaluation), E14
 (interpreted vs slot-compiled per-fire overhead, recycler admission
 ablation), E15 (durable-log ingest throughput by write discipline,
-cold-start recovery time) and E16 (paged from_start replay over
-log-resident history, retention truncation under live queries) — and
-writes ``BENCH_E2.json``, ``BENCH_E8.json``, ``BENCH_E9.json``,
+cold-start recovery time), E16 (paged from_start replay over
+log-resident history, retention truncation under live queries) and
+E17 (Postgres front-end round-trip latency vs the framed protocol,
+idle pg tail subscribers on the shared asyncio core) — and writes
+``BENCH_E2.json``, ``BENCH_E8.json``, ``BENCH_E9.json``,
 ``BENCH_E10.json``, ``BENCH_E11.json``, ``BENCH_E13.json``,
-``BENCH_E14.json``, ``BENCH_E15.json`` and ``BENCH_E16.json`` to the
-repo root (or ``--outdir``). CI runs ``--quick`` so drift is caught
+``BENCH_E14.json``, ``BENCH_E15.json``, ``BENCH_E16.json`` and
+``BENCH_E17.json`` to the repo root (or ``--outdir``). CI runs ``--quick`` so drift is caught
 without a full experiment sweep;
 ``repro.bench.reporting.compare_runs`` diffs two archives.
 """
@@ -35,7 +37,7 @@ from benchmarks import (bench_e2_multiquery, bench_e8_scheduler,
                         bench_e9_baskets, bench_e10_net,
                         bench_e11_chain, bench_e13_delta,
                         bench_e14_interp, bench_e15_durability,
-                        bench_e16_paging)
+                        bench_e16_paging, bench_e17_pg)
 from repro.bench.reporting import save_json
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -109,6 +111,13 @@ def run_e16(quick: bool):
             bench_e16_paging.run_retention_table(retention)]
 
 
+def run_e17(quick: bool):
+    iters = 100 if quick else bench_e17_pg.LATENCY_ITERS
+    counts = [100, 1000] if quick else bench_e17_pg.IDLE_COUNTS
+    return [bench_e17_pg.run_latency_table(iters),
+            bench_e17_pg.run_idle_table(counts)]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -125,7 +134,8 @@ def main(argv=None) -> int:
                          ("BENCH_E13.json", run_e13),
                          ("BENCH_E14.json", run_e14),
                          ("BENCH_E15.json", run_e15),
-                         ("BENCH_E16.json", run_e16)):
+                         ("BENCH_E16.json", run_e16),
+                         ("BENCH_E17.json", run_e17)):
         tables = runner(args.quick)
         for table in tables:
             print()

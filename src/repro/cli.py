@@ -29,6 +29,7 @@ runtime:
 ``.network``       the query-network pane (demo Fig. 3)
 ``.analysis``      the performance pane (demo Fig. 4)
 ``.net``           the network-edge pane (per-connection counters)
+``.pg``            the Postgres front-end pane (per-session counters)
 ``.recycler``      shared-work cache counters (hits/misses/evictions,
                    policy, chain stamps/hits, bytes & ms saved)
 ``.interp``        plan-execution pane (slot-compiler counters,
@@ -238,6 +239,9 @@ class DataCellShell:
 
     def _cmd_net(self, arg: str) -> None:
         self._print(self.engine.monitor.net())
+
+    def _cmd_pg(self, arg: str) -> None:
+        self._print(self.engine.monitor.pg())
 
     def _cmd_recycler(self, arg: str) -> None:
         stats = self.engine.recycler.stats()

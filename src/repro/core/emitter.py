@@ -168,15 +168,26 @@ class QueueSink(Sink):
             queue.Queue(maxsize=max_batches)
         self._seq = 0
         self._lock = threading.Lock()
+        self._waker: Optional[Callable[[], Any]] = None
         self.evicted = False
         self.delivered_batches = 0
         self.delivered_rows = 0
         self.dropped_batches = 0
 
+    def set_waker(self, fn: Optional[Callable[[], Any]]) -> None:
+        """Attach a callback invoked after every :meth:`deliver` —
+        including eviction flips — so an event-loop consumer can sleep
+        on an event instead of polling the queue. Called from the
+        delivering (scheduler) thread; keep it tiny and non-blocking
+        (the asyncio edge passes a ``call_soon_threadsafe`` trampoline).
+        """
+        self._waker = fn
+
     def deliver(self, result: Relation, now: int) -> None:
         with self._lock:
             if self.evicted:
                 self.dropped_batches += 1
+                self._wake()
                 return
             seq = self._seq
             try:
@@ -184,16 +195,29 @@ class QueueSink(Sink):
             except queue.Full:
                 self.evicted = True
                 self.dropped_batches += 1
+                self._wake()
                 return
             self._seq += 1
             self.delivered_batches += 1
             self.delivered_rows += result.row_count
+        self._wake()
+
+    def _wake(self) -> None:
+        if self._waker is not None:
+            self._waker()
 
     def get(self, timeout: Optional[float] = None
             ) -> Optional[Tuple[int, int, Relation]]:
         """Next ``(seq, now, relation)`` or ``None`` on timeout."""
         try:
             return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def get_nowait(self) -> Optional[Tuple[int, int, Relation]]:
+        """Next ``(seq, now, relation)`` or ``None`` when empty."""
+        try:
+            return self._queue.get_nowait()
         except queue.Empty:
             return None
 

@@ -192,8 +192,10 @@ class DataCellEngine:
         self._receptors: Dict[str, List[Receptor]] = {}
         self._queries: Dict[str, ContinuousQuery] = {}
         self._qcounter = 0
-        # the attached network edge (a DataCellServer), when serving
+        # the attached network edges, when serving: the framed
+        # protocol server and the Postgres wire-protocol front end
         self.net_edge = None
+        self.pg_edge = None
 
         # -- durability (repro.store) ----------------------------------
         if durability not in DURABILITY_MODES:
@@ -261,6 +263,13 @@ class DataCellEngine:
 
     def execute_script(self, sql: str) -> List[Union[Relation, str, int]]:
         return [self._execute_stmt(s) for s in parse_script(sql)]
+
+    def execute_statement(self, stmt: ast.Statement
+                          ) -> Union[Relation, str, int]:
+        """Run one already-parsed statement — for front ends (the pg
+        wire session) that parse once to classify and must not
+        re-parse to execute."""
+        return self._execute_stmt(stmt)
 
     def _execute_stmt(self, stmt: ast.Statement):
         if isinstance(stmt, (ast.SelectStmt, ast.UnionStmt)):
@@ -824,6 +833,8 @@ class DataCellEngine:
         stats["interp"] = self.interp_stats()
         if self.net_edge is not None:
             stats["net"] = self.net_edge.net_stats()
+        if self.pg_edge is not None:
+            stats["pg"] = self.pg_edge.pg_stats()
         if self.durable:
             stats["log"] = self.log_stats()
         return stats

@@ -200,6 +200,36 @@ class Monitor:
             f"evicted={totals['evicted']}")
         return "\n".join(lines)
 
+    def pg(self) -> str:
+        """The Postgres front-end pane: per-session statement/row
+        counters of the attached :class:`~repro.pg.server.
+        PGWireServer`."""
+        edge = getattr(self.engine, "pg_edge", None)
+        if edge is None:
+            return "postgres front end: (not attached — start one " \
+                   "with repro serve --pg-port)"
+        stats = edge.pg_stats()
+        state = "running" if stats["running"] else "stopped"
+        lines = [f"postgres front end [{state}] on {stats['address']} "
+                 f"(psql -h {stats['address'].split(':')[0]} "
+                 f"-p {stats['address'].split(':')[1]}):"]
+        for sess in stats["sessions"]:
+            tail = f" tailing {sess['tailing']!r}" \
+                if sess["tailing"] else ""
+            lines.append(
+                f"  session #{sess['id']} [{sess['peer']}] "
+                f"user={sess['user'] or '?'}:{tail} "
+                f"queries={sess['queries']} rows={sess['rows_sent']} "
+                f"errors={sess['errors']}")
+        if not stats["sessions"]:
+            lines.append("  (no open sessions)")
+        lines.append(
+            f"  totals [{stats['connections_total']} connections]: "
+            f"queries={stats['queries']} rows={stats['rows_sent']} "
+            f"tails={stats['tails']} cancels={stats['cancels']} "
+            f"errors={stats['errors']}")
+        return "\n".join(lines)
+
     def interp(self) -> str:
         """The plan-execution pane: slot-compiler and digest-cache
         counters, per-opcode cumulative wall time from the compiled

@@ -1,0 +1,169 @@
+"""The shared asyncio I/O core: one event loop for every front end.
+
+PR 3's network edge ran a thread per accepted connection plus a writer
+thread per subscriber — ~3 OS threads and their stacks for every
+connected client, which caps "thousands of idle subscribers" well
+before the engine itself is the bottleneck. :class:`IOLoop` replaces
+that with a single asyncio event loop on one daemon thread; every
+protocol front end (the framed :class:`~repro.net.server.
+DataCellServer` *and* the Postgres wire front end in
+:mod:`repro.pg.server`) registers its listen socket on the same loop,
+and each connection becomes a coroutine task whose idle cost is a heap
+entry, not a thread.
+
+The engine side is untouched: the scheduler still runs on its own
+thread, admission queues are still offered from "the network" and
+drained by the scheduler, and delivery queues are still filled by the
+scheduler — the loop merely replaces *who blocks on the sockets*.
+Cross-thread wakeups go through :meth:`IOLoop.call_soon` (a
+``call_soon_threadsafe`` wrapper): the scheduler thread delivers a
+batch into a subscriber's :class:`~repro.core.emitter.QueueSink`, the
+sink's waker sets an ``asyncio.Event`` on the loop, and the
+subscriber's writer task wakes — zero polling, so an idle subscriber
+costs nothing per unit time.
+
+Sharing: ``repro serve --pg-port`` runs both front ends on one
+:class:`IOLoop`. Each server :meth:`acquire`\\ s the loop on start and
+:meth:`release`\\ s it on stop; the loop shuts down with its last user
+(an externally-constructed loop is never torn down by a server).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+from typing import Any, Coroutine, Optional
+
+from repro.errors import NetError
+
+
+class IOLoop:
+    """An asyncio event loop running on one daemon thread.
+
+    Thread-contract: :meth:`submit`/:meth:`call`/:meth:`call_soon` are
+    safe from any thread; coroutines run on the loop thread. ``stop``
+    cancels every outstanding task, lets cancellation handlers unwind,
+    then joins the thread.
+    """
+
+    def __init__(self, name: str = "datacell-io"):
+        self.name = name
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._users = 0
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._loop is not None and self._loop.is_running()
+
+    def start(self) -> "IOLoop":
+        with self._lock:
+            if self._loop is not None:
+                return self
+            self._started.clear()
+            self._loop = asyncio.new_event_loop()
+            self._thread = threading.Thread(
+                target=self._run, daemon=True, name=self.name)
+            self._thread.start()
+        self._started.wait(5.0)
+        return self
+
+    def _run(self) -> None:
+        loop = self._loop
+        assert loop is not None
+        asyncio.set_event_loop(loop)
+        loop.call_soon(self._started.set)
+        try:
+            loop.run_forever()
+        finally:
+            # unwind anything that survived the cancel sweep
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(asyncio.gather(
+                    *pending, return_exceptions=True))
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def acquire(self) -> "IOLoop":
+        """Register one user (a server) and ensure the loop runs."""
+        self.start()
+        with self._lock:
+            self._users += 1
+        return self
+
+    def release(self, timeout_s: float = 5.0) -> None:
+        """Drop one user; the last one out stops the loop."""
+        with self._lock:
+            self._users = max(0, self._users - 1)
+            last = self._users == 0
+        if last:
+            self.stop(timeout_s)
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        with self._lock:
+            loop, thread = self._loop, self._thread
+            self._loop = None
+            self._thread = None
+            self._users = 0
+        if loop is None:
+            return
+        try:
+            fut = asyncio.run_coroutine_threadsafe(
+                _cancel_all_tasks(), loop)
+            fut.result(timeout_s)
+        except (concurrent.futures.TimeoutError, RuntimeError,
+                concurrent.futures.CancelledError):
+            pass
+        try:
+            loop.call_soon_threadsafe(loop.stop)
+        except RuntimeError:  # already closed
+            pass
+        if thread is not None and \
+                thread is not threading.current_thread():
+            thread.join(timeout_s)
+
+    # -- cross-thread entry points -------------------------------------
+
+    def submit(self, coro: Coroutine) -> "concurrent.futures.Future":
+        """Schedule *coro* on the loop; returns a concurrent future."""
+        loop = self._loop
+        if loop is None:
+            coro.close()
+            raise NetError("I/O loop is not running", code="io")
+        return asyncio.run_coroutine_threadsafe(coro, loop)
+
+    def call(self, coro: Coroutine,
+             timeout_s: Optional[float] = 10.0) -> Any:
+        """Run *coro* on the loop and wait for its result."""
+        return self.submit(coro).result(timeout_s)
+
+    def call_soon(self, fn, *args) -> None:
+        """``call_soon_threadsafe``; silently drops when stopped (a
+        late waker after teardown must not raise in the scheduler)."""
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(fn, *args)
+        except RuntimeError:
+            pass  # loop closed between the check and the call
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"IOLoop({self.name}, {state}, users={self._users})"
+
+
+async def _cancel_all_tasks() -> None:
+    tasks = [t for t in asyncio.all_tasks()
+             if t is not asyncio.current_task()]
+    for task in tasks:
+        task.cancel()
+    if tasks:
+        await asyncio.gather(*tasks, return_exceptions=True)

@@ -66,6 +66,16 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: until interrupted)")
     serve.add_argument("--port-file", default=None,
                        help="write the bound port here (scripting aid)")
+    serve.add_argument("--pg-port", type=int, default=None,
+                       help="also listen for PostgreSQL clients on "
+                            "this port (0 binds an ephemeral port; "
+                            "5433 is the conventional choice) — psql, "
+                            "pg8000 and friends can then connect")
+    serve.add_argument("--pg-host", default=None,
+                       help="bind address for the Postgres listener "
+                            "(default: --host)")
+    serve.add_argument("--pg-port-file", default=None,
+                       help="write the bound Postgres port here")
     serve.add_argument("--data-dir", default=None,
                        help="durable stream-log directory; reopening "
                             "an existing one recovers streams, "
@@ -147,22 +157,44 @@ def _cmd_serve(args, out: IO) -> int:
         shell = DataCellShell(engine=engine, out=out)
         with open(args.script) as f:
             shell.run(f, interactive=False)
+    # both front ends share one asyncio I/O core; the framed server
+    # drives the scheduler thread, so the pg listener must not
+    io = None
+    pg_server = None
+    if args.pg_port is not None:
+        from repro.net.aio import IOLoop
+        from repro.pg.server import PGWireServer
+
+        io = IOLoop()
+        pg_server = PGWireServer(
+            engine, host=args.pg_host or args.host, port=args.pg_port,
+            max_client_queue=args.client_queue,
+            drive_scheduler=False, io_loop=io)
     server = DataCellServer(
         engine, host=args.host, port=args.port,
         step_interval_s=args.step_ms / 1000.0,
         admission=args.admission,
         max_pending_batches=args.pending,
         max_client_queue=args.client_queue,
-        collect_max_batches=args.collect_max or None)
+        collect_max_batches=args.collect_max or None,
+        io_loop=io)
     server.start()
     out.write(f"datacell server listening on "
               f"{server.host}:{server.port} "
               f"(admission={server.admission}, "
               f"{len(engine.queries())} standing queries)\n")
+    if pg_server is not None:
+        pg_server.start()
+        out.write(f"postgres front end listening on "
+                  f"{pg_server.host}:{pg_server.port} "
+                  f"(psql -h {pg_server.host} -p {pg_server.port})\n")
     out.flush()
     if args.port_file:
         with open(args.port_file, "w") as f:
             f.write(str(server.port))
+    if args.pg_port_file and pg_server is not None:
+        with open(args.pg_port_file, "w") as f:
+            f.write(str(pg_server.port))
     try:
         if args.duration is not None:
             time.sleep(args.duration)
@@ -172,12 +204,21 @@ def _cmd_serve(args, out: IO) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         pass
     finally:
+        if pg_server is not None:
+            pg_server.stop()
         server.stop()
         engine.close()
     stats = server.net_stats()["totals"]
     out.write(f"served {server.connections_total} connections: "
               f"ingested={stats['ingested']} shed={stats['shed']} "
               f"delivered={stats['delivered_rows']} rows\n")
+    if pg_server is not None:
+        pstats = pg_server.pg_stats()
+        out.write(f"postgres front end served "
+                  f"{pstats['connections_total']} connections: "
+                  f"queries={pstats['queries']} "
+                  f"rows={pstats['rows_sent']} "
+                  f"tails={pstats['tails']}\n")
     return 0
 
 

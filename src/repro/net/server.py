@@ -5,8 +5,17 @@ per client" at the engine's edges. :class:`DataCellServer` realizes
 that boundary: one engine on a wall clock, a scheduler thread stepping
 the Petri net (LiveRunner-style), one
 :class:`~repro.core.receptor.SocketReceptor` per connected stream
-producer, and one :class:`~repro.core.emitter.QueueSink` + writer
-thread per subscribed client.
+producer, and one :class:`~repro.core.emitter.QueueSink` + writer task
+per subscribed client.
+
+I/O runs on the shared asyncio core (:class:`~repro.net.aio.IOLoop`):
+one event loop thread accepts connections and runs a coroutine per
+connection plus a writer/pump task per subscription, so an idle
+subscriber costs a heap entry instead of the former thread (PR 3's
+thread-per-connection model). The engine side is unchanged — the
+scheduler thread still pumps admission queues and fills delivery
+queues; queues are woken across the thread boundary via
+``call_soon_threadsafe`` wakers, never polled.
 
 Backpressure is explicit at both edges:
 
@@ -16,7 +25,7 @@ Backpressure is explicit at both edges:
   ERROR frame (``admission="shed"``), with shed/blocked counts in
   :meth:`net_stats` and the shell's ``.net`` pane;
 * **egress** — each subscriber has a bounded delivery queue drained in
-  order by its writer thread; a slow consumer is *evicted* (ERROR
+  order by its writer task; a slow consumer is *evicted* (ERROR
   frame, subscription torn down) rather than allowed to buffer the
   engine into the ground.
 
@@ -32,7 +41,7 @@ Typical use::
 
 from __future__ import annotations
 
-import socket
+import asyncio
 import threading
 import time
 from typing import Any, Dict, List, Optional
@@ -45,16 +54,22 @@ from repro.core.receptor import SocketReceptor
 from repro.errors import CatalogError, DataCellError, NetError, \
     StreamError
 from repro.net import protocol
+from repro.net.aio import IOLoop
 
 _TOTAL_KEYS = ("offered", "ingested", "shed", "blocked",
                "delivered_batches", "delivered_rows", "evicted")
 
 
 class _Subscription:
-    """One subscribed client: a queued sink plus its writer thread."""
+    """One subscribed client: a queued sink plus its writer task.
+
+    The sink is filled by the scheduler thread; its waker sets an
+    ``asyncio.Event`` on the I/O loop, and the writer task drains the
+    queue into RESULT frames. Idle = parked on the event, zero cost.
+    """
 
     def __init__(self, conn: "_Connection", query_name: str,
-                 sink: QueueSink, emitter):
+                 sink: QueueSink, emitter, io: IOLoop):
         self.conn = conn
         self.query = query_name
         self.sink = sink
@@ -62,36 +77,48 @@ class _Subscription:
         self.sent_batches = 0
         self.sent_rows = 0
         self.dead = False
-        self._stop = threading.Event()
-        self._thread = threading.Thread(
-            target=self._run, daemon=True,
-            name=f"emitter-{conn.cid}-{query_name}")
+        self._io = io
+        self._stopping = False
+        self._event = asyncio.Event()
+        self._task: Optional[asyncio.Task] = None
+        sink.set_waker(lambda: io.call_soon(self._event.set))
 
     def start(self) -> None:
-        self._thread.start()
+        self._task = asyncio.get_running_loop().create_task(
+            self._run())
 
-    def _run(self) -> None:
-        while not self._stop.is_set():
-            item = self.sink.get(timeout=0.05)
-            if item is None:
-                if self.sink.evicted and self.sink.drained():
-                    self._evict()
-                    return
-                continue
-            seq, now, rel = item
-            frame = protocol.result(self.query, seq, now, rel.names,
-                                    [list(r) for r in rel.to_rows()])
-            try:
-                self.conn.stream.send(frame)
-            except NetError:
-                self._detach()
-                return
-            self.sent_batches += 1
-            self.sent_rows += rel.row_count
-
-    def _evict(self) -> None:
+    async def _run(self) -> None:
         try:
-            self.conn.stream.send(protocol.error(
+            while True:
+                self._event.clear()
+                while True:
+                    item = self.sink.get_nowait()
+                    if item is None:
+                        break
+                    seq, now, rel = item
+                    frame = protocol.result(
+                        self.query, seq, now, rel.names,
+                        [list(r) for r in rel.to_rows()])
+                    try:
+                        await self.conn.send(frame)
+                    except NetError:
+                        self._detach()
+                        return
+                    self.sent_batches += 1
+                    self.sent_rows += rel.row_count
+                if self.sink.evicted and self.sink.drained():
+                    await self._evict()
+                    return
+                if self._stopping:
+                    return
+                await self._event.wait()
+        except asyncio.CancelledError:
+            self._detach()
+            raise
+
+    async def _evict(self) -> None:
+        try:
+            await self.conn.send(protocol.error(
                 "evicted",
                 f"subscriber too slow for query {self.query!r}; "
                 f"delivery queue overflowed", query=self.query))
@@ -101,14 +128,21 @@ class _Subscription:
 
     def _detach(self) -> None:
         self.dead = True
+        self.sink.set_waker(None)
         self.emitter.remove_sink(self.sink)
 
-    def stop(self, timeout_s: float = 2.0) -> None:
-        self._stop.set()
+    async def shutdown(self) -> None:
+        """Join the writer task (loop thread): stop, wake, await."""
+        self._stopping = True
         self._detach()
-        if self._thread.is_alive() \
-                and self._thread is not threading.current_thread():
-            self._thread.join(timeout_s)
+        task = self._task
+        if task is not None and task is not asyncio.current_task():
+            self._event.set()
+            done, _pending = await asyncio.wait({task}, timeout=2.0)
+            if not done:
+                task.cancel()
+                await asyncio.wait({task}, timeout=1.0)
+        self._task = None
 
     def stats(self) -> Dict[str, Any]:
         out = self.sink.stats()
@@ -120,19 +154,21 @@ class _Subscription:
 
 
 class _StreamSubscription:
-    """One replay-capable raw-stream subscriber: a cursor pump.
+    """One replay-capable raw-stream subscriber: a cursor pump task.
 
     Where :class:`_Subscription` buffers emitter deliveries in a
     bounded queue (and evicts slow consumers), a stream subscriber
     owns a :class:`~repro.core.emitter.SubscriberCursor` into the
-    stream's oid/offset space. Its pump thread reads
+    stream's oid/offset space. Its pump task reads
     ``[cursor, head)`` through
     :meth:`~repro.core.engine.DataCellEngine.read_stream_range` — the
     durable log below the basket's retained prefix, live basket memory
     above — so historical replay flows through the same delivery path
     as live tuples and splices into them without a gap or duplicate.
     A slow consumer simply lags and later resumes; it is never
-    evicted. A basket tap wakes the pump on every append.
+    evicted. A basket tap wakes the pump on every append (via the I/O
+    loop's threadsafe trampoline — the tap itself runs under the
+    basket lock on the scheduler thread and must stay tiny).
 
     Retention contract: a ``from`` offset below the log's retention
     floor is not an error — the read path skips the discarded prefix,
@@ -142,7 +178,7 @@ class _StreamSubscription:
     """
 
     def __init__(self, conn: "_Connection", engine: DataCellEngine,
-                 stream: str, start_offset: int,
+                 stream: str, start_offset: int, io: IOLoop,
                  chunk_rows: int = 2048):
         self.conn = conn
         self.engine = engine
@@ -157,82 +193,101 @@ class _StreamSubscription:
         # subscriber lagged to the floor instead of erroring out
         self.skipped_rows = 0
         self.dead = False
+        self._io = io
         self._seq = 0
-        self._stop = threading.Event()
-        self._wake = threading.Event()
+        self._stopping = False
         self._behind = False
-        self._thread = threading.Thread(
-            target=self._run, daemon=True,
-            name=f"stream-sub-{conn.cid}-{stream}")
+        self._event = asyncio.Event()
+        self._task: Optional[asyncio.Task] = None
+        # captured once: each `self._tap` access builds a fresh bound
+        # method, and the basket removes taps by identity
+        self._tap_cb = self._tap
 
     def start(self) -> None:
-        self.basket.add_tap(self._tap)
-        self._thread.start()
+        self.basket.add_tap(self._tap_cb)
+        self._task = asyncio.get_running_loop().create_task(
+            self._run())
 
     def _tap(self, lo: int, hi: int, now: int) -> None:
         # called under the basket lock on every append: tiny, lock-free
-        self._wake.set()
+        self._io.call_soon(self._event.set)
 
-    def _run(self) -> None:
-        while not self._stop.is_set():
-            head = self.basket.next_oid
-            if self.cursor.cursor >= head:
-                self._wake.wait(0.05)
-                self._wake.clear()
-                continue
-            if self.cursor.lag(head) > self.chunk_rows:
-                self._behind = True
-            lo = self.cursor.cursor
-            hi = min(head, lo + self.chunk_rows)
-            try:
-                parts = self.engine.read_stream_range(
-                    self.stream, lo, hi)
-            except DataCellError:
-                self._detach()  # stream dropped under us
-                return
-            if parts and parts[0][0] > lo:
-                self.skipped_rows += parts[0][0] - lo
-            for plo, phi, rel in parts:
-                frame = protocol.result(
-                    "", self._seq, self.engine.now(), rel.names,
-                    [list(r) for r in rel.to_rows()],
-                    stream=self.stream, offset=plo, end=phi,
-                    replay=phi <= self.replay_upto)
-                # advance BEFORE send: the client may ack the batch
-                # before this thread runs again, and a cursor behind
-                # the delivery would clamp that ack away
-                self._seq += 1
-                self.cursor.advance(phi, phi - plo,
-                                    phi <= self.replay_upto)
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while not self._stopping:
+                head = self.basket.next_oid
+                if self.cursor.cursor >= head:
+                    self._event.clear()
+                    if self.basket.next_oid > self.cursor.cursor:
+                        continue  # append raced the clear
+                    await self._event.wait()
+                    continue
+                if self.cursor.lag(head) > self.chunk_rows:
+                    self._behind = True
+                lo = self.cursor.cursor
+                hi = min(head, lo + self.chunk_rows)
                 try:
-                    self.conn.stream.send(frame)
-                except NetError:
-                    self._detach()
+                    # log reads can touch disk; keep the loop live
+                    parts = await loop.run_in_executor(
+                        None, self.engine.read_stream_range,
+                        self.stream, lo, hi)
+                except DataCellError:
+                    self._detach()  # stream dropped under us
                     return
-            if not parts:
-                # everything in [lo, hi) predates what the log
-                # retains; skip forward rather than spin
-                self.skipped_rows += hi - lo
-                self.cursor.advance(hi, 0, True)
-            if self._behind and self.cursor.cursor >= \
-                    self.basket.next_oid:
-                self._behind = False
-                self.cursor.resumes += 1
+                if parts and parts[0][0] > lo:
+                    self.skipped_rows += parts[0][0] - lo
+                for plo, phi, rel in parts:
+                    frame = protocol.result(
+                        "", self._seq, self.engine.now(), rel.names,
+                        [list(r) for r in rel.to_rows()],
+                        stream=self.stream, offset=plo, end=phi,
+                        replay=phi <= self.replay_upto)
+                    # advance BEFORE send: the client may ack the batch
+                    # before this task runs again, and a cursor behind
+                    # the delivery would clamp that ack away
+                    self._seq += 1
+                    self.cursor.advance(phi, phi - plo,
+                                        phi <= self.replay_upto)
+                    try:
+                        await self.conn.send(frame)
+                    except NetError:
+                        self._detach()
+                        return
+                if not parts:
+                    # everything in [lo, hi) predates what the log
+                    # retains; skip forward rather than spin
+                    self.skipped_rows += hi - lo
+                    self.cursor.advance(hi, 0, True)
+                if self._behind and self.cursor.cursor >= \
+                        self.basket.next_oid:
+                    self._behind = False
+                    self.cursor.resumes += 1
+        except asyncio.CancelledError:
+            self._detach()
+            raise
+        finally:
+            self._detach()
 
     def ack(self, offset: int) -> None:
         self.cursor.ack(offset)
 
     def _detach(self) -> None:
         self.dead = True
-        self.basket.remove_tap(self._tap)
+        self.basket.remove_tap(self._tap_cb)
 
-    def stop(self, timeout_s: float = 2.0) -> None:
-        self._stop.set()
-        self._wake.set()
+    async def shutdown(self) -> None:
+        """Join the pump task (loop thread): stop, wake, await."""
+        self._stopping = True
         self._detach()
-        if self._thread.is_alive() \
-                and self._thread is not threading.current_thread():
-            self._thread.join(timeout_s)
+        task = self._task
+        if task is not None and task is not asyncio.current_task():
+            self._event.set()
+            done, _pending = await asyncio.wait({task}, timeout=2.0)
+            if not done:
+                task.cancel()
+                await asyncio.wait({task}, timeout=1.0)
+        self._task = None
 
     def stats(self) -> Dict[str, Any]:
         out = self.cursor.stats()
@@ -244,17 +299,60 @@ class _StreamSubscription:
 
 
 class _Connection:
-    """Server-side state of one accepted socket."""
+    """Server-side state of one accepted socket (loop-thread owned)."""
 
-    def __init__(self, cid: int, sock: socket.socket, peer):
+    def __init__(self, cid: int, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
         self.cid = cid
-        self.stream = protocol.FrameStream(sock)
+        self.reader = reader
+        self.writer = writer
+        peer = writer.get_extra_info("peername")
         self.peer = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) \
             else str(peer)
+        self.codec = protocol.JSONCodec
         self.receptors: Dict[str, SocketReceptor] = {}
         self.subscriptions: List[_Subscription] = []
         self.stream_subs: Dict[str, _StreamSubscription] = {}
         self.closed = False
+        # one frame at a time per socket: replies and subscription
+        # deliveries interleave at frame granularity, and drain() may
+        # not be awaited concurrently from two tasks
+        self._send_lock = asyncio.Lock()
+
+    async def send(self, message: Dict[str, Any]) -> None:
+        frame = protocol.encode_frame(message, self.codec)
+        try:
+            async with self._send_lock:
+                self.writer.write(frame)
+                await self.writer.drain()
+        except (ConnectionError, OSError, RuntimeError) as exc:
+            raise NetError(f"send failed: {exc}", code="io") from exc
+
+    async def recv(self) -> Optional[Dict[str, Any]]:
+        """Next framed message, ``None`` on orderly EOF."""
+        try:
+            header = await self.reader.readexactly(
+                protocol.HEADER.size)
+        except asyncio.IncompleteReadError as exc:
+            if exc.partial:
+                raise NetError("connection closed mid-frame",
+                               code="io") from exc
+            return None
+        except (ConnectionError, OSError) as exc:
+            raise NetError(f"recv failed: {exc}", code="io") from exc
+        length, _codec_id = protocol.HEADER.unpack(header)
+        if length > protocol.MAX_FRAME_BYTES:
+            raise NetError(
+                f"peer announced a {length}-byte frame "
+                f"(limit {protocol.MAX_FRAME_BYTES})", code="too_large")
+        try:
+            payload = await self.reader.readexactly(length) \
+                if length else b""
+        except (asyncio.IncompleteReadError, ConnectionError,
+                OSError) as exc:
+            raise NetError("connection closed mid-frame",
+                           code="io") from exc
+        return protocol.decode_frame(header, payload)
 
 
 class DataCellServer:
@@ -268,7 +366,8 @@ class DataCellServer:
                  block_timeout_s: float = 5.0,
                  max_client_queue: int = 256,
                  collect_max_batches: Optional[int] = 1024,
-                 replay_chunk_rows: int = 2048):
+                 replay_chunk_rows: int = 2048,
+                 io_loop: Optional[IOLoop] = None):
         """``port=0`` binds an ephemeral port (read :attr:`port` after
         :meth:`start`). ``admission``/``max_pending_batches`` shape the
         per-producer admission queues; ``max_client_queue`` bounds each
@@ -276,7 +375,9 @@ class DataCellServer:
         every standing query's built-in CollectingSink so a long-running
         server does not hoard history (``None`` leaves them unbounded).
         ``replay_chunk_rows`` bounds how many tuples one stream-replay
-        RESULT frame carries while a subscriber catches up.
+        RESULT frame carries while a subscriber catches up. ``io_loop``
+        shares an existing :class:`~repro.net.aio.IOLoop` (e.g. with the
+        Postgres front end); by default the server runs its own.
         """
         if engine is None:
             engine = DataCellEngine(clock=WallClock())
@@ -295,8 +396,8 @@ class DataCellServer:
         self.max_client_queue = max_client_queue
         self.collect_max_batches = collect_max_batches
         self.replay_chunk_rows = replay_chunk_rows
-        self._sock: Optional[socket.socket] = None
-        self._accept_thread: Optional[threading.Thread] = None
+        self.io = io_loop if io_loop is not None else IOLoop()
+        self._aio_server: Optional[asyncio.AbstractServer] = None
         self._sched_thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._lock = threading.Lock()
@@ -316,24 +417,27 @@ class DataCellServer:
         if self.collect_max_batches is not None:
             for query in self.engine.queries():
                 query.sink.set_max_batches(self.collect_max_batches)
-        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        sock.bind((self.host, self.port))
-        sock.listen(64)
-        self._sock = sock
-        self.host, self.port = sock.getsockname()[:2]
+        self.io.acquire()
+        try:
+            self._aio_server = self.io.call(self._open_listener())
+        except Exception:
+            self.io.release()
+            raise
+        sockname = self._aio_server.sockets[0].getsockname()
+        self.host, self.port = sockname[:2]
         self.engine.net_edge = self
         self._stop.clear()
         self.running = True
         self._sched_thread = threading.Thread(
             target=self._sched_loop, daemon=True,
             name="datacell-server-scheduler")
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, daemon=True,
-            name="datacell-server-accept")
         self._sched_thread.start()
-        self._accept_thread.start()
         return self
+
+    async def _open_listener(self) -> asyncio.AbstractServer:
+        return await asyncio.start_server(
+            self._on_connection, host=self.host, port=self.port,
+            backlog=512, reuse_address=True)
 
     def stop(self, timeout_s: float = 5.0) -> None:
         """Orderly shutdown: stop accepting, drain ingested tuples
@@ -342,16 +446,13 @@ class DataCellServer:
         if not self.running:
             return
         self.running = False
-        # 1. no new connections; shutdown() (not just close()) so a
-        # thread already blocked in accept() wakes up
-        if self._sock is not None:
+        # 1. no new connections
+        if self._aio_server is not None:
+            server = self._aio_server
+            self._aio_server = None
             try:
-                self._sock.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                self._sock.close()
-            except OSError:
+                self.io.call(_close_listener(server), timeout_s)
+            except Exception:
                 pass
         deadline = time.monotonic() + timeout_s
         # 2. let the scheduler thread drain admission queues + the net
@@ -365,20 +466,21 @@ class DataCellServer:
             self._sched_thread.join(timeout_s)
             self._sched_thread = None
         drain_scheduler(self.engine.scheduler)
-        # 4. flush subscriber delivery queues (writers still running)
+        # 4. flush subscriber delivery queues (writer tasks running)
         while time.monotonic() < deadline:
             if all(sub.sink.drained() or sub.dead
                    for conn in self._snapshot_conns()
                    for sub in conn.subscriptions):
                 break
             time.sleep(0.01)
-        # 5. tear down connections (unblocks handler threads) + accept
+        # 5. tear down connections (joins writer/pump tasks)
         for conn in self._snapshot_conns():
-            self._close_conn(conn)
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout_s)
-            self._accept_thread = None
+            try:
+                self.io.call(self._close_conn(conn), timeout_s)
+            except Exception:
+                pass
         self._reap_receptors(force=True)
+        self.io.release(timeout_s)
 
     def _quiesced(self) -> bool:
         backlog = any(r.pending_batches()
@@ -422,78 +524,78 @@ class DataCellServer:
         self._totals["shed"] += receptor.total_shed
         self._totals["blocked"] += receptor.total_blocked
 
-    # -- accept / connection handling ----------------------------------
+    # -- connection handling (all coroutines run on the I/O loop) ------
 
-    def _accept_loop(self) -> None:
-        assert self._sock is not None
-        while self.running:
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        if not self.running:
+            writer.close()
+            return
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
             try:
-                sock, peer = self._sock.accept()
+                import socket as _socket
+                sock.setsockopt(_socket.IPPROTO_TCP,
+                                _socket.TCP_NODELAY, 1)
             except OSError:
-                return  # listen socket closed by stop()
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            with self._lock:
-                self._conn_counter += 1
-                conn = _Connection(self._conn_counter, sock, peer)
-                self._conns.append(conn)
-                self.connections_total += 1
-            threading.Thread(target=self._handle, args=(conn,),
-                             daemon=True,
-                             name=f"datacell-conn-{conn.cid}").start()
-
-    def _handle(self, conn: _Connection) -> None:
+                pass
+        with self._lock:
+            self._conn_counter += 1
+            conn = _Connection(self._conn_counter, reader, writer)
+            self._conns.append(conn)
+            self.connections_total += 1
         try:
-            if not self._handshake(conn):
-                return
-            while not self._stop.is_set():
-                message = conn.stream.recv()
-                if message is None:
-                    return
-                self._dispatch(conn, message)
+            if await self._handshake(conn):
+                while True:
+                    message = await conn.recv()
+                    if message is None:
+                        break
+                    await self._dispatch(conn, message)
         except NetError:
             pass  # peer vanished or spoke garbage; drop the connection
         finally:
-            self._close_conn(conn)
+            await self._close_conn(conn)
 
-    def _handshake(self, conn: _Connection) -> bool:
-        first = conn.stream.recv()
+    async def _handshake(self, conn: _Connection) -> bool:
+        first = await conn.recv()
         if first is None:
             return False
         if first.get("type") != protocol.HELLO:
-            conn.stream.send(protocol.error(
+            await conn.send(protocol.error(
                 "bad_frame", "expected a HELLO frame first"))
             return False
-        used = conn.stream.set_codec(str(first.get("codec", "json")))
-        conn.stream.send(protocol.ok(
+        conn.codec = protocol.get_codec(
+            str(first.get("codec", "json")))
+        await conn.send(protocol.ok(
             server="datacell-repro",
-            version=protocol.PROTOCOL_VERSION, codec=used,
+            version=protocol.PROTOCOL_VERSION, codec=conn.codec.name,
             streams=[s.name for s in self.engine.catalog.streams()],
             queries=[q.name for q in self.engine.queries()]))
         return True
 
-    def _dispatch(self, conn: _Connection, message: Dict[str, Any]
-                  ) -> None:
+    async def _dispatch(self, conn: _Connection,
+                        message: Dict[str, Any]) -> None:
         kind = message.get("type")
         if kind == protocol.INGEST:
-            self._on_ingest(conn, message)
+            await self._on_ingest(conn, message)
         elif kind == protocol.SUBSCRIBE:
             if message.get("stream"):
-                self._on_subscribe_stream(conn, message)
+                await self._on_subscribe_stream(conn, message)
             else:
-                self._on_subscribe(conn, message)
+                await self._on_subscribe(conn, message)
         elif kind == protocol.ACK:
             self._on_ack(conn, message)
         elif kind == protocol.STATS:
-            conn.stream.send(
+            await conn.send(
                 protocol.stats(self.engine.network_stats()))
         elif kind == protocol.ERROR:
             pass  # client-side complaint; nothing to do server-side
         else:
-            conn.stream.send(protocol.error(
+            await conn.send(protocol.error(
                 "bad_frame", f"unexpected frame type {kind!r}"))
 
-    def _on_ingest(self, conn: _Connection, message: Dict[str, Any]
-                   ) -> None:
+    async def _on_ingest(self, conn: _Connection,
+                         message: Dict[str, Any]) -> None:
         stream_name = str(message.get("stream", "")).lower()
         rows = message.get("rows") or []
         seq = message.get("seq")
@@ -507,62 +609,81 @@ class DataCellServer:
                     policy=self.admission,
                     block_timeout_s=self.block_timeout_s)
             except (CatalogError, StreamError) as exc:
-                conn.stream.send(protocol.error(
+                await conn.send(protocol.error(
                     "no_stream", str(exc), stream=stream_name, seq=seq))
                 return
             conn.receptors[stream_name] = receptor
         try:
-            accepted = receptor.offer(rows)
+            if self._offer_may_block(receptor):
+                # a blocking admission (queue full / log writer
+                # drowning, policy="block") must not stall the event
+                # loop — push it to a worker thread; backpressure
+                # still rides this connection because its coroutine
+                # awaits the result before reading the next frame
+                accepted = await asyncio.get_running_loop() \
+                    .run_in_executor(None, receptor.offer, rows)
+            else:
+                accepted = receptor.offer(rows)
         except StreamError as exc:
-            conn.stream.send(protocol.error(
+            await conn.send(protocol.error(
                 "overload", str(exc), stream=stream_name, seq=seq))
             return
         if accepted == 0 and rows:
-            conn.stream.send(protocol.error(
+            await conn.send(protocol.error(
                 "shed", f"admission queue for {stream_name!r} is full "
                 f"({receptor.max_pending} batches); batch shed",
                 stream=stream_name, seq=seq, rows=len(rows)))
             return
-        conn.stream.send(protocol.ok(accepted=accepted, seq=seq,
-                                     stream=stream_name))
+        await conn.send(protocol.ok(accepted=accepted, seq=seq,
+                                    stream=stream_name))
 
-    def _on_subscribe(self, conn: _Connection, message: Dict[str, Any]
-                      ) -> None:
+    @staticmethod
+    def _offer_may_block(receptor: SocketReceptor) -> bool:
+        if receptor.policy != "block":
+            return False  # shed admission never blocks
+        if receptor.pending_batches() >= receptor.max_pending:
+            return True
+        log = receptor.basket.log
+        return log is not None and \
+            log.backlog_batches() >= receptor.log_backlog_limit
+
+    async def _on_subscribe(self, conn: _Connection,
+                            message: Dict[str, Any]) -> None:
         query_name = str(message.get("query", "")).lower()
         try:
             query = self.engine.continuous_query(query_name)
         except DataCellError as exc:
-            conn.stream.send(protocol.error(
+            await conn.send(protocol.error(
                 "no_query", str(exc), query=query_name))
             return
         if any(s.query == query_name and not s.dead
                for s in conn.subscriptions):
-            conn.stream.send(protocol.error(
+            await conn.send(protocol.error(
                 "duplicate", f"already subscribed to {query_name!r}",
                 query=query_name))
             return
         sink = QueueSink(f"c{conn.cid}:{query_name}",
                          max_batches=self.max_client_queue)
         subscription = _Subscription(conn, query_name, sink,
-                                     query.emitter)
+                                     query.emitter, self.io)
         conn.subscriptions.append(subscription)
         query.emitter.add_sink(sink)
-        conn.stream.send(protocol.ok(query=query_name,
-                                     columns=query.plan.schema.names))
+        await conn.send(protocol.ok(query=query_name,
+                                    columns=query.plan.schema.names))
         subscription.start()
 
-    def _on_subscribe_stream(self, conn: _Connection,
-                             message: Dict[str, Any]) -> None:
+    async def _on_subscribe_stream(self, conn: _Connection,
+                                   message: Dict[str, Any]) -> None:
         stream_name = str(message.get("stream", "")).lower()
         try:
             basket = self.engine.basket(stream_name)
         except DataCellError as exc:
-            conn.stream.send(protocol.error(
+            await conn.send(protocol.error(
                 "no_stream", str(exc), stream=stream_name))
             return
         existing = conn.stream_subs.get(stream_name)
         if existing is not None and not existing.dead:
-            conn.stream.send(protocol.error(
+            await conn.send(protocol.error(
                 "duplicate",
                 f"already subscribed to stream {stream_name!r}",
                 stream=stream_name))
@@ -572,16 +693,16 @@ class DataCellServer:
         start = head if raw_from is None \
             else max(0, min(int(raw_from), head))
         sub = _StreamSubscription(conn, self.engine, stream_name,
-                                  start,
+                                  start, self.io,
                                   chunk_rows=self.replay_chunk_rows)
         conn.stream_subs[stream_name] = sub
-        conn.stream.send(protocol.ok(
+        await conn.send(protocol.ok(
             stream=stream_name, columns=basket.schema.names,
             offset=start, head=head))
         sub.start()
 
-    def _on_ack(self, conn: _Connection, message: Dict[str, Any]
-                ) -> None:
+    def _on_ack(self, conn: _Connection,
+                message: Dict[str, Any]) -> None:
         # fire-and-forget: no reply frame, bad acks are dropped
         sub = conn.stream_subs.get(
             str(message.get("stream", "")).lower())
@@ -591,7 +712,11 @@ class DataCellServer:
             except (TypeError, ValueError):
                 pass
 
-    def _close_conn(self, conn: _Connection) -> None:
+    async def _close_conn(self, conn: _Connection) -> None:
+        """Tear one connection down on the loop: join its writer and
+        pump tasks, fold every counter, release taps/sinks/receptors.
+        Runs on *every* departure path — orderly stop, client EOF, or
+        a mid-replay drop — so nothing leaks (idempotent)."""
         with self._lock:
             if conn.closed:
                 return
@@ -601,19 +726,22 @@ class DataCellServer:
                 receptor.close()
                 self._orphan_receptors.append(receptor)
         for subscription in conn.subscriptions:
-            subscription.stop()
+            await subscription.shutdown()
             self._totals["delivered_batches"] += \
                 subscription.sent_batches
             self._totals["delivered_rows"] += subscription.sent_rows
             if subscription.sink.evicted:
                 self._totals["evicted"] += 1
         for stream_sub in conn.stream_subs.values():
-            stream_sub.stop()
+            await stream_sub.shutdown()
             self._totals["delivered_batches"] += \
                 stream_sub.cursor.sent_batches
             self._totals["delivered_rows"] += \
                 stream_sub.cursor.sent_rows
-        conn.stream.close()
+        try:
+            conn.writer.close()
+        except Exception:
+            pass
 
     # -- inspection ----------------------------------------------------
 
@@ -677,3 +805,8 @@ class DataCellServer:
         state = "running" if self.running else "stopped"
         return (f"DataCellServer({self.host}:{self.port}, {state}, "
                 f"conns={len(self._conns)})")
+
+
+async def _close_listener(server: asyncio.AbstractServer) -> None:
+    server.close()
+    await server.wait_closed()

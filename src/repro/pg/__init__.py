@@ -1,0 +1,19 @@
+"""Postgres wire-protocol front end.
+
+Any PostgreSQL v3 client — ``psql``, ``pg8000``, a JDBC driver — can
+speak to the DataCell engine: plain SELECTs run one-shot, ``CREATE
+STREAM`` / ``INSERT`` feed receptors, and the ``TAIL`` extension turns
+the connection into a live result feed from a standing query's
+delivery queue. The listener shares the asyncio I/O core
+(:class:`~repro.net.aio.IOLoop`) with the framed-protocol server.
+
+Modules: :mod:`~repro.pg.messages` (byte-level v3 messages),
+:mod:`~repro.pg.protocol` (async stream framing),
+:mod:`~repro.pg.session` (per-connection state machine),
+:mod:`~repro.pg.server` (:class:`~repro.pg.server.PGWireServer`),
+:mod:`~repro.pg.cli` (standalone ``python -m repro.pg.cli``).
+"""
+
+from repro.pg.server import PGWireServer
+
+__all__ = ["PGWireServer"]

@@ -1,0 +1,106 @@
+"""Async stream framing for the Postgres v3 protocol.
+
+Two read shapes exist on the wire: the *first* packet of a connection
+(length-prefixed, no type byte — StartupMessage, SSLRequest,
+GSSENCRequest or CancelRequest) and every subsequent typed message
+(``type + length + payload``). Both readers live here so the session
+state machine never touches raw structs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Optional, Tuple
+
+from repro.errors import NetError
+from repro.pg import messages as msg
+
+_I32 = struct.Struct("!i")
+
+# a startup packet larger than this is not a postgres client talking
+MAX_STARTUP_BYTES = 16 * 1024
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+class Startup:
+    """Decoded first packet of a connection."""
+
+    __slots__ = ("kind", "params", "pid", "secret")
+
+    def __init__(self, kind: str, params=None, pid: int = 0,
+                 secret: int = 0):
+        self.kind = kind        # "startup" | "cancel"
+        self.params = params or {}
+        self.pid = pid
+        self.secret = secret
+
+
+async def read_startup(reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter
+                       ) -> Optional[Startup]:
+    """Read the connection's first packet, negotiating away SSL and
+    GSSENC requests (one ``N`` byte each — "not supported, carry on in
+    clear") until a StartupMessage or CancelRequest arrives. Returns
+    ``None`` on EOF before a complete packet.
+    """
+    # a client may send SSLRequest then GSSENCRequest then startup
+    for _ in range(4):
+        head = await _read_exactly(reader, 4)
+        if head is None:
+            return None
+        (length,) = _I32.unpack(head)
+        if length < 8 or length > MAX_STARTUP_BYTES:
+            raise NetError(f"bad startup packet length {length}",
+                           code="bad_frame")
+        body = await _read_exactly(reader, length - 4)
+        if body is None:
+            return None
+        (code,) = _I32.unpack_from(body, 0)
+        if code in (msg.SSL_REQUEST_CODE, msg.GSSENC_REQUEST_CODE):
+            writer.write(b"N")
+            await writer.drain()
+            continue
+        if code == msg.CANCEL_REQUEST_CODE:
+            (pid,) = _I32.unpack_from(body, 4)
+            (secret,) = _I32.unpack_from(body, 8)
+            return Startup("cancel", pid=pid, secret=secret)
+        if code == msg.PROTOCOL_3_0:
+            return Startup("startup",
+                           params=msg.parse_startup_payload(body[4:]))
+        raise NetError(f"unsupported protocol version {code}",
+                       code="bad_frame")
+    raise NetError("startup negotiation did not converge",
+                   code="bad_frame")
+
+
+async def read_message(reader: asyncio.StreamReader
+                       ) -> Optional[Tuple[bytes, bytes]]:
+    """Next typed frontend message as ``(type_byte, payload)``;
+    ``None`` on orderly EOF at a message boundary."""
+    head = await _read_exactly(reader, 5)
+    if head is None:
+        return None
+    type_byte = head[0:1]
+    (length,) = _I32.unpack_from(head, 1)
+    if length < 4 or length > MAX_MESSAGE_BYTES:
+        raise NetError(f"bad message length {length}", code="bad_frame")
+    payload = b""
+    if length > 4:
+        payload = await _read_exactly(reader, length - 4)
+        if payload is None:
+            raise NetError("connection closed mid-message", code="io")
+    return type_byte, payload
+
+
+async def _read_exactly(reader: asyncio.StreamReader,
+                        n: int) -> Optional[bytes]:
+    try:
+        return await reader.readexactly(n)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise NetError("connection closed mid-message",
+                           code="io") from exc
+        return None
+    except (ConnectionError, OSError) as exc:
+        raise NetError(f"recv failed: {exc}", code="io") from exc

@@ -523,3 +523,36 @@ class TestNetCLI:
         assert "subscribed to 'hot'" in output
         assert "30.0" in output and "31.5" in output
         assert "20.0" not in output.replace("-- t=", "")
+
+# ---------------------------------------------------------------------
+# teardown of abruptly dropped query subscribers
+# ---------------------------------------------------------------------
+
+
+class TestTeardownLeaks:
+    def test_abrupt_subscriber_drop_detaches_and_folds(self, server):
+        """A query subscriber whose socket vanishes without an
+        UNSUBSCRIBE must have its writer task joined, its QueueSink
+        detached from the emitter and its delivery counters folded
+        into the server totals."""
+        emitter = server.engine.continuous_query("q").emitter
+        client = DataCellClient(port=server.port)
+        client.subscribe("q")
+        assert any(isinstance(s, QueueSink) for s in emitter.sinks)
+        with DataCellClient(port=server.port) as producer:
+            producer.ingest("s", [list(r) for r in ROWS])
+        batches = client.results(max_batches=1, timeout=5.0)
+        assert batches
+        # abrupt drop: close the raw socket, no goodbye frame
+        client._stream.sock.close()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline \
+                and server._snapshot_conns():
+            time.sleep(0.02)
+        assert server._snapshot_conns() == []
+        assert not any(isinstance(s, QueueSink)
+                       for s in emitter.sinks)
+        totals = server.net_stats()["totals"]
+        assert totals["delivered_batches"] >= len(batches)
+        assert totals["delivered_rows"] >= \
+            sum(b.row_count for b in batches)

@@ -1316,3 +1316,109 @@ class TestNetRetention:
         finally:
             server.stop()
             engine.close()
+
+
+# ---------------------------------------------------------------------------
+# network: teardown of abruptly dropped subscribers, server kill mid-tail
+# ---------------------------------------------------------------------------
+
+
+class TestTeardownOnDrop:
+    def test_abrupt_drop_mid_replay_joins_pump_and_folds(self, served):
+        """A client vanishing mid-replay (socket closed, no goodbye)
+        must have its pump task joined, its basket tap removed and its
+        delivered counters folded into the server totals."""
+        from repro.net.client import DataCellClient
+
+        engine, server = served
+        with DataCellClient(port=server.port) as producer:
+            ingest_range(producer, 0, 3000, chunk=500)
+        time.sleep(0.3)
+        basket = engine.basket("s")
+        taps_before = len(basket._taps)
+        consumer = DataCellClient(port=server.port)
+        consumer.subscribe_stream("s", from_offset=0)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline \
+                and len(basket._taps) != taps_before + 1:
+            time.sleep(0.02)
+        assert len(basket._taps) == taps_before + 1
+        got = collect_rows(consumer, 1)  # at least one replay batch
+        assert got
+        # vanish abruptly: raw socket close, no UNSUBSCRIBE, no close()
+        consumer._stream.sock.close()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline \
+                and server._snapshot_conns():
+            time.sleep(0.02)
+        assert server._snapshot_conns() == []   # conn torn down
+        assert len(basket._taps) == taps_before  # pump tap released
+        totals = server.net_stats()["totals"]
+        assert totals["delivered_batches"] >= len(got)
+        assert totals["delivered_rows"] >= \
+            sum(b.row_count for b in got)
+
+
+class TestServerKillMidTail:
+    def test_kill_and_restart_resumes_no_duplicates(self, tmp_path):
+        """Kill the live server socket under a `repro tail
+        --reconnect` loop, restart on the same port with the same
+        engine: the tail resumes from the last delivered offset and
+        every row arrives exactly once."""
+        import threading
+
+        from repro.net import cli as net_cli
+        from repro.net.client import DataCellClient
+        from repro.net.server import DataCellServer
+
+        engine = DataCellEngine(clock=WallClock(),
+                                data_dir=str(tmp_path),
+                                durability="async",
+                                checkpoint_interval_s=0.25)
+        engine.execute("CREATE STREAM s (k INT, v FLOAT)")
+        server1 = DataCellServer(engine, step_interval_s=0.002)
+        server1.start()
+        port = server1.port
+        with DataCellClient(port=port) as producer:
+            ingest_range(producer, 0, 40)
+        time.sleep(0.3)
+
+        out = io.StringIO()
+        rc = []
+
+        def run_tail():
+            rc.append(net_cli.main(
+                ["tail", "s", "--port", str(port), "--from", "start",
+                 "--reconnect", "--count", "999", "--timeout", "2.0",
+                 "--max-retries", "60"], out=out))
+
+        thread = threading.Thread(target=run_tail, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 8.0
+        while time.monotonic() < deadline \
+                and "39, 39.0" not in out.getvalue():
+            time.sleep(0.05)
+        assert "39, 39.0" in out.getvalue()  # replay fully delivered
+
+        server1.stop()  # the socket dies mid-tail
+        # rows arriving while the edge is down land in the log/basket
+        engine.feed("s", [[k, float(k)] for k in range(40, 70)])
+        server2 = DataCellServer(engine, host="127.0.0.1", port=port,
+                                 step_interval_s=0.002)
+        server2.start()
+        try:
+            with DataCellClient(port=port) as producer:
+                ingest_range(producer, 70, 80)
+            thread.join(30.0)
+            assert not thread.is_alive()
+            assert rc == [0]
+        finally:
+            server2.stop()
+            engine.close()
+        text = out.getvalue()
+        # the loop reconnected and resumed past offset 0
+        assert text.count("subscribed to stream 's'") >= 2
+        assert "from offset 0" in text
+        ks = [int(line.strip().split(",")[0])
+              for line in text.splitlines() if line.startswith("  ")]
+        assert ks == list(range(80))  # exactly once: no dup, no gap
